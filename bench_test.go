@@ -1,0 +1,436 @@
+// Benchmarks regenerating the paper's evaluation artifact (Table 1): one
+// benchmark per algorithm row and per lower-bound row. Each benchmark
+// executes full wake-up runs and reports the distributed-complexity
+// measures as custom metrics:
+//
+//	msgs        messages per run
+//	timeunits   normalized time span (rounds for synchronous algorithms)
+//	advmaxbits  maximum advice length per node
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// EXPERIMENTS.md records the measured values and compares them to the
+// paper's bounds.
+package riseandshine_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"riseandshine"
+	"riseandshine/internal/core"
+	"riseandshine/internal/graph"
+	"riseandshine/internal/lowerbound"
+	"riseandshine/internal/sim"
+)
+
+// benchRun executes one configuration repeatedly and reports metrics.
+func benchRun(b *testing.B, cfg riseandshine.RunConfig) {
+	b.Helper()
+	var msgs, span, advMax float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		res, err := riseandshine.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllAwake {
+			b.Fatalf("only %d/%d nodes woke", res.AwakeCount, res.N)
+		}
+		msgs += float64(res.Messages)
+		if res.Rounds > 0 {
+			span += float64(res.Rounds)
+		} else {
+			span += float64(res.Span)
+		}
+		advMax = math.Max(advMax, float64(res.AdviceMaxBits))
+	}
+	b.ReportMetric(msgs/float64(b.N), "msgs")
+	b.ReportMetric(span/float64(b.N), "timeunits")
+	b.ReportMetric(advMax, "advmaxbits")
+}
+
+// sizes used across the Table 1 benches; kept moderate so the full suite
+// runs in minutes.
+var benchSizes = []int{256, 512, 1024}
+
+// BenchmarkTable1 regenerates the algorithm rows of Table 1.
+func BenchmarkTable1(b *testing.B) {
+	b.Run("Theorem3_DFSRank", func(b *testing.B) {
+		for _, n := range benchSizes {
+			g := riseandshine.RandomConnected(n, 8.0/float64(n), int64(n))
+			b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+				benchRun(b, riseandshine.RunConfig{
+					Graph:     g,
+					Algorithm: "dfs-rank",
+					Schedule:  riseandshine.StaggeredWake{Sizes: []int{1, 2, 4, 8}, Gap: 64, Seed: 3},
+					Delays:    riseandshine.RandomDelay{Seed: 5},
+				})
+			})
+		}
+	})
+
+	b.Run("Theorem4_FastWakeUp", func(b *testing.B) {
+		for _, n := range benchSizes {
+			g := riseandshine.RandomConnected(n, 64.0/float64(n), int64(n))
+			b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+				benchRun(b, riseandshine.RunConfig{
+					Graph:     g,
+					Algorithm: "fast-wakeup",
+					Schedule:  riseandshine.WakeAll{},
+				})
+			})
+		}
+	})
+
+	b.Run("Corollary1_FIP06", func(b *testing.B) {
+		for _, n := range benchSizes {
+			g := riseandshine.RandomConnected(n, 8.0/float64(n), int64(n))
+			ports := riseandshine.RandomPorts(g, int64(n))
+			b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+				benchRun(b, riseandshine.RunConfig{
+					Graph:     g,
+					Algorithm: "fip06",
+					AwakeSet:  []int{0},
+					Delays:    riseandshine.RandomDelay{Seed: 5},
+					Ports:     ports,
+				})
+			})
+		}
+	})
+
+	b.Run("Theorem5A_Threshold", func(b *testing.B) {
+		for _, n := range benchSizes {
+			g := riseandshine.RandomConnected(n, 8.0/float64(n), int64(n))
+			ports := riseandshine.RandomPorts(g, int64(n))
+			b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+				benchRun(b, riseandshine.RunConfig{
+					Graph:     g,
+					Algorithm: "threshold",
+					AwakeSet:  []int{0},
+					Delays:    riseandshine.RandomDelay{Seed: 5},
+					Ports:     ports,
+				})
+			})
+		}
+	})
+
+	b.Run("Theorem5B_CEN", func(b *testing.B) {
+		for _, n := range benchSizes {
+			g := riseandshine.RandomConnected(n, 8.0/float64(n), int64(n))
+			ports := riseandshine.RandomPorts(g, int64(n))
+			b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+				benchRun(b, riseandshine.RunConfig{
+					Graph:     g,
+					Algorithm: "cen",
+					AwakeSet:  []int{0},
+					Delays:    riseandshine.RandomDelay{Seed: 5},
+					Ports:     ports,
+				})
+			})
+		}
+	})
+
+	b.Run("Theorem6_Spanner", func(b *testing.B) {
+		for _, k := range []int{2, 3} {
+			for _, n := range benchSizes {
+				g := riseandshine.RandomConnected(n, 24.0/float64(n), int64(n))
+				ports := riseandshine.RandomPorts(g, int64(n))
+				b.Run(fmt.Sprintf("k=%d/n=%d", k, n), func(b *testing.B) {
+					benchRun(b, riseandshine.RunConfig{
+						Graph:     g,
+						Algorithm: "spanner",
+						Options:   riseandshine.Options{K: k},
+						Schedule:  riseandshine.RandomWake{Count: 4, Seed: 7},
+						Delays:    riseandshine.RandomDelay{Seed: 5},
+						Ports:     ports,
+					})
+				})
+			}
+		}
+	})
+
+	b.Run("Corollary2_SpannerLogN", func(b *testing.B) {
+		for _, n := range benchSizes {
+			g := riseandshine.RandomConnected(n, 24.0/float64(n), int64(n))
+			ports := riseandshine.RandomPorts(g, int64(n))
+			b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+				benchRun(b, riseandshine.RunConfig{
+					Graph:     g,
+					Algorithm: "spanner", // K=0 selects k=⌈log2 n⌉
+					Schedule:  riseandshine.RandomWake{Count: 4, Seed: 7},
+					Delays:    riseandshine.RandomDelay{Seed: 5},
+					Ports:     ports,
+				})
+			})
+		}
+	})
+
+	b.Run("Baseline_Flood", func(b *testing.B) {
+		for _, n := range benchSizes {
+			g := riseandshine.RandomConnected(n, 8.0/float64(n), int64(n))
+			b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+				benchRun(b, riseandshine.RunConfig{
+					Graph:     g,
+					Algorithm: "flood",
+					AwakeSet:  []int{0},
+					Delays:    riseandshine.RandomDelay{Seed: 5},
+				})
+			})
+		}
+	})
+}
+
+// BenchmarkLowerBound regenerates the lower-bound rows of Table 1.
+func BenchmarkLowerBound(b *testing.B) {
+	b.Run("Theorem1_AdviceTradeoff", func(b *testing.B) {
+		const n = 256
+		in, err := lowerbound.BuildG(n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for beta := 0; beta <= 8; beta += 4 {
+			b.Run(fmt.Sprintf("beta=%d", beta), func(b *testing.B) {
+				var msgs float64
+				for i := 0; i < b.N; i++ {
+					rep, err := lowerbound.Run(in,
+						sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+						lowerbound.AdviceProber{},
+						lowerbound.AdviceProberOracle{Inst: in, Beta: beta},
+						sim.UnitDelay{}, int64(i))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rep.Solved {
+						b.Fatalf("only %d/%d needles found", rep.NeedlesFound, len(in.W))
+					}
+					msgs += float64(rep.Result.Messages)
+				}
+				b.ReportMetric(msgs/float64(b.N), "msgs")
+				b.ReportMetric(float64(n)*float64(n)/math.Exp2(float64(beta)), "lowerboundmsgs")
+			})
+		}
+	})
+
+	b.Run("Theorem2_TimeMessageTradeoff", func(b *testing.B) {
+		for _, q := range []int{13, 23} {
+			in, err := lowerbound.BuildGkProjective(q, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := float64(len(in.V))
+			lbCurve := math.Pow(n, 1+1/in.EffectiveK())
+			for _, entry := range []struct {
+				name string
+				alg  sim.Algorithm
+			}{
+				{"broadcast", lowerbound.CenterBroadcast{}},
+				{"dfs-rank", core.DFSRank{}},
+			} {
+				b.Run(fmt.Sprintf("q=%d/%s", q, entry.name), func(b *testing.B) {
+					var msgs, span float64
+					for i := 0; i < b.N; i++ {
+						rep, err := lowerbound.Run(in,
+							sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local},
+							entry.alg, nil, sim.UnitDelay{}, int64(i))
+						if err != nil {
+							b.Fatal(err)
+						}
+						if !rep.Solved {
+							b.Fatalf("only %d/%d needles found", rep.NeedlesFound, len(in.W))
+						}
+						msgs += float64(rep.Result.Messages)
+						span += float64(rep.Result.Span)
+					}
+					b.ReportMetric(msgs/float64(b.N), "msgs")
+					b.ReportMetric(span/float64(b.N), "timeunits")
+					b.ReportMetric(lbCurve, "lowerboundmsgs")
+				})
+			}
+		}
+	})
+}
+
+// BenchmarkAblation quantifies the design choices called out in DESIGN.md:
+// the random-rank discard of Theorem 3, the binary sibling heap of
+// Theorem 5(B), and the root subsampling of Theorem 4.
+func BenchmarkAblation(b *testing.B) {
+	b.Run("DFSRanks", func(b *testing.B) {
+		g := riseandshine.RandomConnected(300, 0.03, 1)
+		for _, disable := range []bool{false, true} {
+			name := "ranked"
+			if disable {
+				name = "unranked"
+			}
+			b.Run(name, func(b *testing.B) {
+				var msgs float64
+				for i := 0; i < b.N; i++ {
+					res, err := sim.RunAsync(sim.Config{
+						Graph: g,
+						Model: sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local},
+						Adversary: sim.Adversary{
+							Schedule: riseandshine.RandomWake{Count: 32, Seed: int64(i)},
+							Delays:   riseandshine.RandomDelay{Seed: int64(i)},
+						},
+						Seed: int64(i),
+					}, core.DFSRank{DisableRanks: disable})
+					if err != nil {
+						b.Fatal(err)
+					}
+					msgs += float64(res.Messages)
+				}
+				b.ReportMetric(msgs/float64(b.N), "msgs")
+			})
+		}
+	})
+
+	b.Run("CENSiblingEncoding", func(b *testing.B) {
+		g := riseandshine.Star(1024)
+		ports := riseandshine.RandomPorts(g, 1)
+		for _, unary := range []bool{false, true} {
+			name := "binary-heap"
+			if unary {
+				name = "unary-chain"
+			}
+			oracle := core.CENOracle{Unary: unary}
+			adv, bits, err := oracle.Advise(g, ports)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(name, func(b *testing.B) {
+				var span float64
+				for i := 0; i < b.N; i++ {
+					res, err := sim.RunAsync(sim.Config{
+						Graph: g,
+						Ports: ports,
+						Model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+						Adversary: sim.Adversary{
+							Schedule: riseandshine.WakeSingle(0),
+						},
+						Advice:     adv,
+						AdviceBits: bits,
+					}, core.CEN{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					span += float64(res.WakeSpan)
+				}
+				b.ReportMetric(span/float64(b.N), "timeunits")
+			})
+		}
+	})
+
+	b.Run("FastWakeUpSampling", func(b *testing.B) {
+		g := riseandshine.RandomConnected(256, 0.25, 1)
+		for _, tc := range []struct {
+			name string
+			prob float64
+		}{
+			{"sampled", 0},
+			{"all-roots", 1},
+		} {
+			b.Run(tc.name, func(b *testing.B) {
+				var msgs float64
+				for i := 0; i < b.N; i++ {
+					res, err := sim.RunSync(sim.SyncConfig{
+						Graph:    g,
+						Model:    sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local},
+						Schedule: riseandshine.WakeAll{},
+						Seed:     int64(i),
+					}, core.FastWakeUp{RootProb: tc.prob})
+					if err != nil {
+						b.Fatal(err)
+					}
+					msgs += float64(res.Messages)
+				}
+				b.ReportMetric(msgs/float64(b.N), "msgs")
+			})
+		}
+	})
+}
+
+// BenchmarkSubstrate measures the cost of the structural machinery the
+// oracles and lower-bound constructions depend on.
+func BenchmarkSubstrate(b *testing.B) {
+	b.Run("GreedySpanner", func(b *testing.B) {
+		for _, k := range []int{2, 3} {
+			g := riseandshine.RandomConnected(512, 0.1, 1)
+			b.Run(fmt.Sprintf("k=%d/n=512", k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := graph.GreedySpanner(g, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	})
+	b.Run("Girth", func(b *testing.B) {
+		g := graph.ProjectivePlaneIncidence(13)
+		b.Run("pg13", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if g.Girth() != 6 {
+					b.Fatal("wrong girth")
+				}
+			}
+		})
+	})
+	b.Run("BuildGk", func(b *testing.B) {
+		b.Run("projective-q23", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := lowerbound.BuildGkProjective(23, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("gq-q5", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := lowerbound.BuildGkGQ(5, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("DegeneracyOrder", func(b *testing.B) {
+		g := riseandshine.RandomConnected(2048, 0.01, 2)
+		for i := 0; i < b.N; i++ {
+			graph.DegeneracyOrder(g)
+		}
+	})
+	b.Run("CENOracle", func(b *testing.B) {
+		g := riseandshine.RandomConnected(2048, 0.01, 3)
+		ports := riseandshine.RandomPorts(g, 4)
+		oracle := core.CENOracle{}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := oracle.Advise(g, ports); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngine measures raw simulator throughput (events per second)
+// with the flooding algorithm, as an engine ablation.
+func BenchmarkEngine(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		g := riseandshine.RandomConnected(n, 8.0/float64(n), int64(n))
+		b.Run(fmt.Sprintf("async/n=%d", n), func(b *testing.B) {
+			events := 0
+			for i := 0; i < b.N; i++ {
+				res, err := riseandshine.Run(riseandshine.RunConfig{
+					Graph:     g,
+					Algorithm: "flood",
+					AwakeSet:  []int{0},
+					Delays:    riseandshine.RandomDelay{Seed: int64(i)},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/run")
+		})
+	}
+}

@@ -1,0 +1,124 @@
+// Command sweep measures how an algorithm's cost scales with network size
+// and fits empirical growth exponents. It is the generic workhorse behind
+// the per-row experiments of cmd/table1.
+//
+//	sweep -alg cen -graph connected:%d:0.01 -sizes 256,512,1024,2048 -schedule single
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"riseandshine"
+	"riseandshine/internal/experiment"
+	"riseandshine/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		algName  = flag.String("alg", "flood", "algorithm name")
+		graphT   = flag.String("graph", "connected:%d:0.01", "graph spec template with %d for n")
+		sizesStr = flag.String("sizes", "128,256,512,1024", "comma-separated network sizes")
+		schedule = flag.String("schedule", "single", "wake schedule spec")
+		delays   = flag.String("delays", "random", "delay adversary: unit | random")
+		seeds    = flag.Int("seeds", 3, "seeds per size")
+		k        = flag.Int("k", 0, "spanner parameter")
+		csvPath  = flag.String("csv", "", "write the sweep as CSV to this path (optional)")
+	)
+	flag.Parse()
+
+	var sizes []int
+	for _, s := range strings.Split(*sizesStr, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad size %q: %w", s, err)
+		}
+		sizes = append(sizes, v)
+	}
+
+	tbl := &experiment.Table{Header: []string{"n", "m", "time", "wake-span", "messages", "bits", "advice-max", "advice-avg"}}
+	var msgPts, timePts []stats.Point
+	for _, n := range sizes {
+		var msgs, span, wspan, bits, ms, advMax, advAvg float64
+		for s := 0; s < *seeds; s++ {
+			seed := int64(31*n + s)
+			g, err := experiment.ParseGraph(fmt.Sprintf(*graphT, n), seed)
+			if err != nil {
+				return err
+			}
+			sched, err := experiment.ParseSchedule(*schedule, seed)
+			if err != nil {
+				return err
+			}
+			d, err := experiment.ParseDelays(*delays, seed)
+			if err != nil {
+				return err
+			}
+			res, err := riseandshine.Run(riseandshine.RunConfig{
+				Graph:     g,
+				Algorithm: *algName,
+				Options:   riseandshine.Options{K: *k},
+				Schedule:  sched,
+				Delays:    d,
+				Ports:     riseandshine.RandomPorts(g, seed),
+				Seed:      seed,
+			})
+			if err != nil {
+				return err
+			}
+			if !res.AllAwake {
+				return fmt.Errorf("n=%d seed=%d: only %d/%d woke", n, seed, res.AwakeCount, res.N)
+			}
+			msgs += float64(res.Messages)
+			span += float64(res.Span)
+			wspan += float64(res.WakeSpan)
+			bits += float64(res.MessageBits)
+			ms += float64(res.M)
+			advAvg += res.AdviceAvgBits()
+			if float64(res.AdviceMaxBits) > advMax {
+				advMax = float64(res.AdviceMaxBits)
+			}
+		}
+		f := float64(*seeds)
+		tbl.Add(n, int(ms/f), span/f, wspan/f, int(msgs/f), int(bits/f), int(advMax), advAvg/f)
+		msgPts = append(msgPts, stats.Point{N: float64(n), Y: msgs / f})
+		timePts = append(timePts, stats.Point{N: float64(n), Y: span / f})
+	}
+	fmt.Print(tbl)
+	if *csvPath != "" {
+		if err := tbl.WriteCSV(*csvPath); err != nil {
+			return err
+		}
+	}
+
+	candidates := []stats.Model{
+		stats.Const, stats.LogN, stats.Log2N, stats.Linear, stats.NLogN,
+		stats.NLog2N, stats.N32, stats.N32SqrtLg, stats.NSquared,
+	}
+	mSlope, _ := stats.LogLogFit(msgPts)
+	mBest, mSpread := stats.BestModel(msgPts, candidates)
+	fmt.Printf("\nmessages: log-log slope %.3f; best model %s (ratio spread %.2f)\n", mSlope, mBest.Name, mSpread)
+	tSlope, _ := stats.LogLogFit(timePts)
+	tBest, tSpread := stats.BestModel(timePts, candidates)
+	fmt.Printf("time:     log-log slope %.3f; best model %s (ratio spread %.2f)\n", tSlope, tBest.Name, tSpread)
+
+	fmt.Println()
+	fmt.Print(stats.Plot(stats.PlotConfig{
+		Title: fmt.Sprintf("%s: cost vs n (log–log)", *algName),
+		LogX:  true, LogY: true,
+	},
+		stats.Series{Name: "messages", Marker: '*', Points: msgPts},
+		stats.Series{Name: "time", Marker: 'o', Points: timePts},
+	))
+	return nil
+}

@@ -1,0 +1,58 @@
+// Concurrent execution: the same per-node state machines running as real
+// goroutines with channel-backed inboxes, instead of the deterministic
+// discrete-event simulator.
+//
+// The deterministic engine (package sim) is the measurement instrument:
+// reproducible runs, exact message/time accounting, oblivious adversaries.
+// The concurrent engine (package runtime, exposed here through the
+// internal API used by the library's own tests) demonstrates that the
+// algorithms are genuinely asynchronous: correctness survives arbitrary
+// Go-scheduler interleavings, which subsume any oblivious delay adversary
+// with unbounded-but-finite delays.
+//
+//	go run ./examples/concurrent
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"riseandshine"
+	"riseandshine/internal/core"
+	"riseandshine/internal/runtime"
+	"riseandshine/internal/sim"
+)
+
+func main() {
+	g := riseandshine.RandomConnected(2000, 0.004, 11)
+	fmt.Printf("network: n=%d m=%d — one goroutine per node\n\n", g.N(), g.M())
+
+	for _, tc := range []struct {
+		name  string
+		model sim.Model
+		alg   sim.Algorithm
+	}{
+		{"flood", sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, core.Flood{}},
+		{"dfs-rank", sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local}, core.DFSRank{}},
+	} {
+		start := time.Now()
+		res, err := runtime.Run(runtime.Config{
+			Graph:    g,
+			Model:    tc.model,
+			Schedule: riseandshine.RandomWake{Count: 8, Seed: 3},
+			Seed:     5,
+		}, tc.alg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s awake %d/%d, %d messages, wall time %v\n",
+			tc.name, res.AwakeCount, g.N(), res.Messages, time.Since(start).Round(time.Millisecond))
+		if !res.AllAwake {
+			log.Fatalf("%s: some nodes stayed asleep under concurrency", tc.name)
+		}
+	}
+
+	fmt.Println("\nboth algorithms tolerate true concurrency: the Go scheduler acts as an")
+	fmt.Println("asynchronous adversary, and termination is detected by quiescence.")
+}

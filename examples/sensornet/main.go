@@ -1,0 +1,77 @@
+// Sensor-network wake-up and the awake distance ρ_awk.
+//
+// A field of sensors sleeps; an external event triggers a handful of them
+// at adversarial positions and times. The time any algorithm needs is at
+// least the awake distance ρ_awk = max_u dist(A0, u) (§1.2) — the paper's
+// fine-grained yardstick. This example wakes a 32×32 sensor grid from
+// event sites of varying density and shows that
+//
+//   - the synchronous FastWakeUp algorithm (Theorem 4) tracks O(ρ_awk)
+//     rounds while sending far fewer messages than flooding on dense
+//     deployments, and
+//
+//   - the asynchronous spanner scheme (Corollary 2) tracks ρ_awk up to a
+//     polylog factor at O(n log² n) messages.
+//
+//     go run ./examples/sensornet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"riseandshine"
+)
+
+func main() {
+	g := riseandshine.Torus(32, 32)
+	fmt.Printf("sensor field: %d nodes (32×32 torus), %d links\n\n", g.N(), g.M())
+
+	fmt.Printf("%-9s %6s | %-12s %8s %9s | %-12s %8s %9s\n",
+		"sites", "rho", "fast-wakeup", "rounds", "msgs", "spanner", "time(τ)", "msgs")
+	for _, sites := range []int{1, 4, 16, 64, 256} {
+		schedule := riseandshine.RandomWake{Count: sites, Seed: int64(sites)}
+
+		fast, err := riseandshine.Run(riseandshine.RunConfig{
+			Graph:     g,
+			Algorithm: "fast-wakeup",
+			Schedule:  schedule,
+			Seed:      2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rho := g.AwakeDistance(fast.AwakeSet())
+
+		span, err := riseandshine.Run(riseandshine.RunConfig{
+			Graph:     g,
+			Algorithm: "spanner",
+			Schedule:  schedule,
+			Delays:    riseandshine.RandomDelay{Seed: 11},
+			Ports:     riseandshine.RandomPorts(g, 13),
+			Seed:      2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-9d %6d | %12s %8d %9d | %12s %8.1f %9d\n",
+			sites, rho, "", fast.Rounds, fast.Messages, "", float64(span.Span), span.Messages)
+		if !fast.AllAwake || !span.AllAwake {
+			log.Fatalf("sites=%d: not all sensors woke", sites)
+		}
+	}
+
+	flood, err := riseandshine.Run(riseandshine.RunConfig{
+		Graph:     g,
+		Algorithm: "flood",
+		Schedule:  riseandshine.RandomWake{Count: 256, Seed: 256},
+		Seed:      2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nflooding reference at 256 sites: %d messages (2m = %d)\n", flood.Messages, 2*g.M())
+	fmt.Println("\nmore event sites ⇒ smaller ρ_awk ⇒ faster wake-up; the message bill of the")
+	fmt.Println("structured schemes stays near-linear while flooding always pays Θ(m).")
+}

@@ -1,0 +1,3 @@
+module riseandshine
+
+go 1.22

@@ -1,0 +1,164 @@
+// Package advice implements the "computing with advice" framework of
+// Fraigniaud, Ilcinkas and Pelc used by the paper (§1.1, §4): an oracle
+// observes the whole network (topology, IDs, port mappings — but not the
+// set of initially-awake nodes) and assigns each node a bit string before
+// the execution starts.
+//
+// Advice is accounted bit-exactly: oracles encode through Writer and
+// machines decode through Reader, so the reported maximum and average
+// advice lengths are the lengths of real encodings rather than estimates.
+package advice
+
+import (
+	"errors"
+	"fmt"
+
+	"riseandshine/internal/graph"
+)
+
+// Oracle computes per-node advice from the full network.
+type Oracle interface {
+	// Name identifies the advising scheme.
+	Name() string
+	// Advise returns, for each node index, the advice bytes and the exact
+	// number of meaningful bits (the final byte may be partially used).
+	Advise(g *graph.Graph, pm *graph.PortMap) (bits [][]byte, lengths []int, err error)
+}
+
+// None is the empty oracle for algorithms that use no advice.
+type None struct{}
+
+// Name implements Oracle.
+func (None) Name() string { return "none" }
+
+// Advise implements Oracle.
+func (None) Advise(g *graph.Graph, _ *graph.PortMap) ([][]byte, []int, error) {
+	return make([][]byte, g.N()), make([]int, g.N()), nil
+}
+
+// BitsFor returns the number of bits needed to store values in [0, max].
+func BitsFor(max int) int {
+	if max <= 0 {
+		return 1
+	}
+	bits := 0
+	for v := max; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// Writer accumulates a bit string MSB-first within each byte.
+type Writer struct {
+	buf  []byte
+	used int // bits written
+}
+
+// WriteBits appends the width lowest-order bits of v, most significant
+// first. Width must be in [0, 64] and v must fit in width bits.
+func (w *Writer) WriteBits(v uint64, width int) {
+	if width < 0 || width > 64 {
+		panic(fmt.Sprintf("advice: invalid width %d", width))
+	}
+	if width < 64 && v>>uint(width) != 0 {
+		panic(fmt.Sprintf("advice: value %d does not fit in %d bits", v, width))
+	}
+	for i := width - 1; i >= 0; i-- {
+		bit := (v >> uint(i)) & 1
+		byteIdx := w.used / 8
+		if byteIdx == len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		if bit == 1 {
+			w.buf[byteIdx] |= 1 << uint(7-w.used%8)
+		}
+		w.used++
+	}
+}
+
+// WriteBool appends a single bit.
+func (w *Writer) WriteBool(b bool) {
+	v := uint64(0)
+	if b {
+		v = 1
+	}
+	w.WriteBits(v, 1)
+}
+
+// Len returns the number of bits written.
+func (w *Writer) Len() int { return w.used }
+
+// Bytes returns the encoded bits; the final byte is zero-padded.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// ErrShortAdvice is reported when a Reader runs past the end of the advice.
+var ErrShortAdvice = errors.New("advice: read past end of advice string")
+
+// Reader consumes a bit string produced by Writer. Read errors are sticky:
+// once a read overruns, all subsequent reads return zero and Err reports
+// ErrShortAdvice.
+type Reader struct {
+	buf  []byte
+	len  int // total bits
+	pos  int
+	fail bool
+}
+
+// NewReader wraps the given advice bytes, of which only the first bits
+// bits are meaningful.
+func NewReader(buf []byte, bits int) *Reader {
+	return &Reader{buf: buf, len: bits}
+}
+
+// ReadBits consumes width bits and returns them as an unsigned integer.
+func (r *Reader) ReadBits(width int) uint64 {
+	if r.fail || r.pos+width > r.len {
+		r.fail = true
+		return 0
+	}
+	var v uint64
+	for i := 0; i < width; i++ {
+		byteIdx := r.pos / 8
+		bit := (r.buf[byteIdx] >> uint(7-r.pos%8)) & 1
+		v = v<<1 | uint64(bit)
+		r.pos++
+	}
+	return v
+}
+
+// ReadBool consumes one bit.
+func (r *Reader) ReadBool() bool { return r.ReadBits(1) == 1 }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int {
+	if r.fail {
+		return 0
+	}
+	return r.len - r.pos
+}
+
+// Err returns ErrShortAdvice if any read overran the advice string.
+func (r *Reader) Err() error {
+	if r.fail {
+		return ErrShortAdvice
+	}
+	return nil
+}
+
+// Stats summarizes an advice assignment.
+type Stats struct {
+	MaxBits   int
+	TotalBits int64
+}
+
+// Measure computes summary statistics for per-node advice lengths.
+func Measure(lengths []int) Stats {
+	var s Stats
+	for _, l := range lengths {
+		s.TotalBits += int64(l)
+		if l > s.MaxBits {
+			s.MaxBits = l
+		}
+	}
+	return s
+}

@@ -1,0 +1,160 @@
+package advice
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"riseandshine/internal/graph"
+)
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 255: 8, 256: 9}
+	for max, want := range cases {
+		if got := BitsFor(max); got != want {
+			t.Errorf("BitsFor(%d) = %d, want %d", max, got, want)
+		}
+	}
+}
+
+func TestWriterReaderRoundtrip(t *testing.T) {
+	var w Writer
+	w.WriteBits(5, 3)
+	w.WriteBool(true)
+	w.WriteBits(1023, 10)
+	w.WriteBool(false)
+	w.WriteBits(0, 0) // zero-width write is a no-op
+	w.WriteBits(1, 1)
+
+	if w.Len() != 3+1+10+1+1 {
+		t.Fatalf("length = %d", w.Len())
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	if got := r.ReadBits(3); got != 5 {
+		t.Errorf("first field = %d", got)
+	}
+	if !r.ReadBool() {
+		t.Error("second field should be true")
+	}
+	if got := r.ReadBits(10); got != 1023 {
+		t.Errorf("third field = %d", got)
+	}
+	if r.ReadBool() {
+		t.Error("fourth field should be false")
+	}
+	if got := r.ReadBits(1); got != 1 {
+		t.Errorf("fifth field = %d", got)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining = %d", r.Remaining())
+	}
+	if r.Err() != nil {
+		t.Errorf("unexpected error: %v", r.Err())
+	}
+}
+
+// TestRoundtripProperty: any sequence of (value, width) fields survives a
+// write/read cycle bit-exactly.
+func TestRoundtripProperty(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count)%30 + 1
+		widths := make([]int, n)
+		values := make([]uint64, n)
+		var w Writer
+		for i := 0; i < n; i++ {
+			widths[i] = 1 + rng.Intn(63)
+			values[i] = rng.Uint64() >> uint(64-widths[i])
+			w.WriteBits(values[i], widths[i])
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		for i := 0; i < n; i++ {
+			if r.ReadBits(widths[i]) != values[i] {
+				return false
+			}
+		}
+		return r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderShortRead(t *testing.T) {
+	var w Writer
+	w.WriteBits(3, 2)
+	r := NewReader(w.Bytes(), w.Len())
+	if got := r.ReadBits(5); got != 0 {
+		t.Errorf("overrun read returned %d, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrShortAdvice) {
+		t.Errorf("err = %v, want ErrShortAdvice", r.Err())
+	}
+	// Sticky: further reads also fail.
+	if r.ReadBits(1) != 0 || r.Err() == nil {
+		t.Error("error should be sticky")
+	}
+	if r.Remaining() != 0 {
+		t.Error("remaining after failure should be 0")
+	}
+}
+
+func TestWriterPanicsOnOversizedValue(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	var w Writer
+	w.WriteBits(8, 3) // 8 needs 4 bits
+}
+
+func TestWriterPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	var w Writer
+	w.WriteBits(0, 65)
+}
+
+func TestNoneOracle(t *testing.T) {
+	g := graph.Path(4)
+	bits, lengths, err := (None{}).Advise(g, graph.IdentityPorts(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bits) != 4 || len(lengths) != 4 {
+		t.Fatal("wrong slice lengths")
+	}
+	for v := range lengths {
+		if lengths[v] != 0 || bits[v] != nil {
+			t.Errorf("node %d has non-empty advice", v)
+		}
+	}
+	if (None{}).Name() == "" {
+		t.Error("empty oracle name")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	s := Measure([]int{3, 0, 10, 7})
+	if s.MaxBits != 10 || s.TotalBits != 20 {
+		t.Errorf("stats = %+v", s)
+	}
+	zero := Measure(nil)
+	if zero.MaxBits != 0 || zero.TotalBits != 0 {
+		t.Errorf("empty stats = %+v", zero)
+	}
+}
+
+func TestWriterBytesPadding(t *testing.T) {
+	var w Writer
+	w.WriteBits(1, 1) // single 1 bit: byte should be 0b1000_0000
+	bs := w.Bytes()
+	if len(bs) != 1 || bs[0] != 0x80 {
+		t.Errorf("bytes = %v", bs)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import "riseandshine/internal/sim"
+
+// CongestDFS is a depth-first wake-up for the asynchronous KT0 CONGEST
+// model — no advice, no neighbor IDs, O(log n)-bit messages. The token
+// carries only a random priority; each node keeps per-traversal local
+// state (parent port, explored ports) in the classic Tarry/Cidon style,
+// and dominated traversals are discarded by priority exactly as in
+// Theorem 3.
+//
+// The comparison with DFSRank is the point of this type: without LOCAL
+// messages the token cannot carry the visited list, so the traversal must
+// physically explore edges and pays Θ(m) messages (each edge is crossed
+// O(1) times per surviving traversal) instead of Õ(n). Together the two
+// algorithms isolate what the unbounded message size buys Theorem 3.
+type CongestDFS struct{}
+
+var _ sim.Algorithm = CongestDFS{}
+
+// Name implements sim.Algorithm.
+func (CongestDFS) Name() string { return "dfs-congest" }
+
+// NewMachine implements sim.Algorithm.
+func (CongestDFS) NewMachine(info sim.NodeInfo) sim.Program {
+	return &cdfsMachine{info: info}
+}
+
+// cdfsToken moves forward into unexplored edges (Back=false) or returns
+// toward the parent / rejects a revisit (Back=true). Priority is a random
+// bit string; collisions are broken arbitrarily and only cost extra
+// messages, never correctness, since every traversal wakes the nodes it
+// touches.
+type cdfsToken struct {
+	Priority uint64
+	Back     bool
+	W        int
+}
+
+// Bits implements sim.Message.
+func (t cdfsToken) Bits() int { return tagBits + 1 + t.W }
+
+// cdfsState is this node's bookkeeping for one traversal.
+type cdfsState struct {
+	parentPort int // 0 at the initiator
+	explored   []bool
+}
+
+type cdfsMachine struct {
+	info sim.NodeInfo
+	best uint64
+	has  map[uint64]*cdfsState
+}
+
+func (m *cdfsMachine) OnWake(ctx sim.Context) {
+	if !ctx.AdversarialWake() {
+		return
+	}
+	w := m.prioBits()
+	prio := ctx.Rand().Uint64() >> (64 - uint(w))
+	m.best = prio
+	st := &cdfsState{explored: make([]bool, m.info.Degree+1)}
+	m.states()[prio] = st
+	m.advance(ctx, prio, st)
+}
+
+func (m *cdfsMachine) states() map[uint64]*cdfsState {
+	if m.has == nil {
+		m.has = make(map[uint64]*cdfsState)
+	}
+	return m.has
+}
+
+// prioBits keeps the whole token within the CONGEST budget: 3·⌈log2 n⌉
+// priority bits make collisions unlikely while the message stays at
+// 3·log n + O(1) bits.
+func (m *cdfsMachine) prioBits() int {
+	w := 3 * m.info.LogN
+	if w > 62 {
+		w = 62
+	}
+	if w < 8 {
+		w = 8
+	}
+	return w
+}
+
+func (m *cdfsMachine) OnMessage(ctx sim.Context, d sim.Delivery) {
+	t, ok := d.Msg.(cdfsToken)
+	if !ok {
+		return
+	}
+	if t.Priority < m.best {
+		return // dominated traversal: discard
+	}
+	m.best = t.Priority
+	st, seen := m.states()[t.Priority]
+	if !t.Back {
+		if seen {
+			// Revisit: bounce the token straight back so the sender tries
+			// its next port.
+			ctx.Send(d.Port, cdfsToken{Priority: t.Priority, Back: true, W: t.W})
+			return
+		}
+		st = &cdfsState{
+			parentPort: d.Port,
+			explored:   make([]bool, m.info.Degree+1),
+		}
+		m.states()[t.Priority] = st
+		m.advance(ctx, t.Priority, st)
+		return
+	}
+	if !seen {
+		return // a Back for a traversal we discarded earlier
+	}
+	m.advance(ctx, t.Priority, st)
+}
+
+// advance moves the traversal from this node: into the next unexplored
+// non-parent edge, or back toward the parent when exhausted.
+func (m *cdfsMachine) advance(ctx sim.Context, prio uint64, st *cdfsState) {
+	w := m.prioBits()
+	for p := 1; p <= m.info.Degree; p++ {
+		if p == st.parentPort || st.explored[p] {
+			continue
+		}
+		st.explored[p] = true
+		ctx.Send(p, cdfsToken{Priority: prio, W: w})
+		return
+	}
+	if st.parentPort != 0 {
+		ctx.Send(st.parentPort, cdfsToken{Priority: prio, Back: true, W: w})
+	}
+	// At the initiator with everything explored: traversal complete.
+}

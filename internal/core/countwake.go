@@ -1,0 +1,128 @@
+package core
+
+import (
+	"riseandshine/internal/graph"
+	"riseandshine/internal/sim"
+)
+
+// CountingWake extends the echo-flood wave with aggregation: each node's
+// acknowledgement carries the size of its wave subtree, so an initiator
+// whose wave completes learns the exact number of nodes it woke — wake-up,
+// termination detection, and network-size discovery in one Θ(m)-message
+// primitive. This addresses the standard assumption audit: the paper's
+// algorithms assume a known upper bound on log n (§1.1), and this wave is
+// the natural way a fleet controller would obtain it.
+//
+// Asynchronous KT0 CONGEST: messages carry one ID and one counter, O(log n)
+// bits.
+type CountingWake struct {
+	// OnCount, when non-nil, is called once per completed wave with the
+	// initiator's ID, the number of nodes in its wave tree (including
+	// itself), and the completion time.
+	OnCount func(initiator graph.NodeID, count int, at sim.Time)
+}
+
+var _ sim.Algorithm = CountingWake{}
+
+// Name implements sim.Algorithm.
+func (CountingWake) Name() string { return "counting-wake" }
+
+// NewMachine implements sim.Algorithm.
+func (a CountingWake) NewMachine(info sim.NodeInfo) sim.Program {
+	return &countMachine{info: info, waves: make(map[graph.NodeID]*countWaveState), done: a.OnCount}
+}
+
+// countWave propagates the wave outward.
+type countWave struct {
+	Tag graph.NodeID
+	W   int
+}
+
+// Bits implements sim.Message.
+func (m countWave) Bits() int { return tagBits + m.W }
+
+// countAck echoes back with the subtree size accumulated so far.
+type countAck struct {
+	Tag   graph.NodeID
+	Count int
+	W     int
+}
+
+// Bits implements sim.Message.
+func (m countAck) Bits() int { return tagBits + 2*m.W }
+
+type countWaveState struct {
+	parentPort int
+	pending    int
+	subtree    int // nodes in this node's wave subtree, including itself
+	finished   bool
+}
+
+type countMachine struct {
+	info  sim.NodeInfo
+	waves map[graph.NodeID]*countWaveState
+	done  func(graph.NodeID, int, sim.Time)
+}
+
+func (m *countMachine) OnWake(ctx sim.Context) {
+	if !ctx.AdversarialWake() {
+		return
+	}
+	tag := m.info.ID
+	ws := &countWaveState{pending: m.info.Degree, subtree: 1}
+	m.waves[tag] = ws
+	if ws.pending == 0 {
+		m.finish(ctx, tag, ws)
+		return
+	}
+	ctx.Broadcast(countWave{Tag: tag, W: m.info.LogN + 1})
+}
+
+func (m *countMachine) OnMessage(ctx sim.Context, d sim.Delivery) {
+	switch msg := d.Msg.(type) {
+	case countWave:
+		ws, seen := m.waves[msg.Tag]
+		if !seen {
+			ws = &countWaveState{parentPort: d.Port, pending: m.info.Degree - 1, subtree: 1}
+			m.waves[msg.Tag] = ws
+			for p := 1; p <= m.info.Degree; p++ {
+				if p != d.Port {
+					ctx.Send(p, countWave{Tag: msg.Tag, W: m.info.LogN + 1})
+				}
+			}
+			if ws.pending == 0 {
+				m.finish(ctx, msg.Tag, ws)
+			}
+			return
+		}
+		// Non-parent wave arrival: the edge leads to a non-child; it
+		// contributes nothing to the subtree count.
+		m.echo(ctx, msg.Tag, ws, 0)
+	case countAck:
+		if ws, seen := m.waves[msg.Tag]; seen {
+			m.echo(ctx, msg.Tag, ws, msg.Count)
+		}
+	}
+}
+
+func (m *countMachine) echo(ctx sim.Context, tag graph.NodeID, ws *countWaveState, count int) {
+	if ws.finished {
+		return
+	}
+	ws.subtree += count
+	ws.pending--
+	if ws.pending == 0 {
+		m.finish(ctx, tag, ws)
+	}
+}
+
+func (m *countMachine) finish(ctx sim.Context, tag graph.NodeID, ws *countWaveState) {
+	ws.finished = true
+	if ws.parentPort != 0 {
+		ctx.Send(ws.parentPort, countAck{Tag: tag, Count: ws.subtree, W: m.info.LogN + 1})
+		return
+	}
+	if m.done != nil {
+		m.done(tag, ws.subtree, ctx.Now())
+	}
+}

@@ -1,0 +1,23 @@
+// Package core implements the paper's wake-up algorithms — the primary
+// contribution of the reproduction:
+//
+//   - Flood: the folklore flooding baseline (optimal time, Θ(m) messages).
+//   - DFSRank (Theorem 3): asynchronous KT1 LOCAL ranked depth-first
+//     traversals; O(n log n) time and messages w.h.p.
+//   - FastWakeUp (Theorem 4): synchronous KT1 LOCAL; O(ρ_awk) rounds and
+//     O(n^{3/2}·√(log n)) messages w.h.p.
+//   - FIP06 (Corollary 1): asynchronous KT0 CONGEST advising scheme with
+//     O(D) time, O(n) messages, max advice O(n) bits, average O(log n).
+//   - Threshold (Theorem 5A): O(D) time, O(n^{3/2}) messages, max advice
+//     O(√n·log n) bits.
+//   - CEN (Theorem 5B): the child-encoding scheme; O(D log n) time, O(n)
+//     messages, max advice O(log n) bits.
+//   - SpannerScheme (Theorem 6 / Corollary 2): child-encoding over a greedy
+//     (2k−1)-spanner; O(k·ρ_awk·log n) time, Õ(n^{1+1/k}) messages, max
+//     advice O(n^{1/k}·log² n) bits.
+//   - PushGossip: push-only gossip comparator from the §1.3 discussion.
+//
+// Algorithms are expressed as per-node state machines (sim.Program or
+// sim.SyncProgram) plus, for the advising schemes, an advice.Oracle that is
+// run over the network before execution.
+package core

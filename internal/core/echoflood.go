@@ -1,0 +1,132 @@
+package core
+
+import (
+	"riseandshine/internal/graph"
+	"riseandshine/internal/sim"
+)
+
+// EchoFlood solves wake-up with termination detection: flooding augmented
+// with a feedback wave (the classic PIF — propagation of information with
+// feedback). Each adversary-woken node starts its own wave, tagged with
+// its ID; every node joins each wave once (its first sender becomes the
+// wave parent), forwards the wave over its remaining edges, and returns an
+// acknowledgement to its parent once all its own edges have responded. An
+// initiator whose wave has fully echoed knows that every node it can reach
+// is awake — knowledge plain flooding never obtains.
+//
+// Costs per wave: at most two messages per edge plus one ack per node
+// (Θ(m)), and 2·ecc(initiator) time; with s initiators, s waves run in
+// parallel. This is a KT0 CONGEST algorithm: waves are identified by the
+// initiator's ID carried in O(log n) bits.
+type EchoFlood struct {
+	// OnComplete, when non-nil, is called once per initiator when its
+	// wave has fully echoed, with the initiator's ID and the completion
+	// time.
+	OnComplete func(initiator graph.NodeID, at sim.Time)
+}
+
+var _ sim.Algorithm = EchoFlood{}
+
+// Name implements sim.Algorithm.
+func (EchoFlood) Name() string { return "echo-flood" }
+
+// NewMachine implements sim.Algorithm.
+func (a EchoFlood) NewMachine(info sim.NodeInfo) sim.Program {
+	return &echoMachine{info: info, waves: make(map[graph.NodeID]*waveState), done: a.OnComplete}
+}
+
+// waveMsg propagates wave tag outward.
+type waveMsg struct {
+	Tag graph.NodeID
+	W   int
+}
+
+// Bits implements sim.Message.
+func (m waveMsg) Bits() int { return tagBits + m.W }
+
+// ackMsg echoes wave tag back toward its initiator.
+type ackMsg struct {
+	Tag graph.NodeID
+	W   int
+}
+
+// Bits implements sim.Message.
+func (m ackMsg) Bits() int { return tagBits + m.W }
+
+type waveState struct {
+	parentPort int // 0 for the initiator
+	pending    int
+	finished   bool
+}
+
+type echoMachine struct {
+	info  sim.NodeInfo
+	waves map[graph.NodeID]*waveState
+	done  func(graph.NodeID, sim.Time)
+}
+
+func (m *echoMachine) OnWake(ctx sim.Context) {
+	if !ctx.AdversarialWake() {
+		return
+	}
+	tag := m.info.ID
+	ws := &waveState{pending: m.info.Degree}
+	m.waves[tag] = ws
+	if ws.pending == 0 {
+		m.finish(ctx, tag, ws)
+		return
+	}
+	ctx.Broadcast(waveMsg{Tag: tag, W: m.info.LogN + 1})
+}
+
+func (m *echoMachine) OnMessage(ctx sim.Context, d sim.Delivery) {
+	switch msg := d.Msg.(type) {
+	case waveMsg:
+		ws, seen := m.waves[msg.Tag]
+		if !seen {
+			// First contact with this wave: adopt the sender as parent
+			// and propagate over the remaining edges.
+			ws = &waveState{parentPort: d.Port, pending: m.info.Degree - 1}
+			m.waves[msg.Tag] = ws
+			for p := 1; p <= m.info.Degree; p++ {
+				if p != d.Port {
+					ctx.Send(p, waveMsg{Tag: msg.Tag, W: m.info.LogN + 1})
+				}
+			}
+			if ws.pending == 0 {
+				m.finish(ctx, msg.Tag, ws)
+			}
+			return
+		}
+		// A wave arriving on a non-parent edge means that neighbor joined
+		// through another path: the edge is settled, count it as an echo.
+		m.echo(ctx, msg.Tag, ws)
+	case ackMsg:
+		if ws, seen := m.waves[msg.Tag]; seen {
+			m.echo(ctx, msg.Tag, ws)
+		}
+	}
+}
+
+func (m *echoMachine) echo(ctx sim.Context, tag graph.NodeID, ws *waveState) {
+	if ws.finished {
+		return
+	}
+	ws.pending--
+	if ws.pending == 0 {
+		m.finish(ctx, tag, ws)
+	}
+}
+
+// finish fires when every edge of this node has responded for the wave:
+// echo to the parent, or report completion at the initiator.
+func (m *echoMachine) finish(ctx sim.Context, tag graph.NodeID, ws *waveState) {
+	ws.finished = true
+	if ws.parentPort != 0 {
+		ctx.Send(ws.parentPort, ackMsg{Tag: tag, W: m.info.LogN + 1})
+		return
+	}
+	if m.done != nil {
+		m.done(tag, ctx.Now())
+	}
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"riseandshine/internal/graph"
+	"riseandshine/internal/sim"
+)
+
+// FastWakeUp implements the Theorem 4 algorithm for the synchronous KT1
+// LOCAL model. Adversary-woken (and later activated) nodes become active;
+// each active node samples itself as a root with probability √(log n / n)
+// in its first round. A root builds a depth-3 BFS tree in 9 rounds using
+// the neighbor-list exchange technique of [DPRS24] (§3.2.1): level-1 nodes
+// report their neighbor lists to the root, which computes the level-1→2
+// BFS edge set S2 and later the level-2→3 set S3, so every tree edge
+// carries O(1) construction messages. Nodes joining a tree at level 1 or 2
+// are deactivated when the tree completes; nodes joining at level 3 (and
+// sleeping nodes that receive an ⟨activate!⟩) become active. An active node
+// that survives 9 rounds broadcasts ⟨activate!⟩ in its 10th round and
+// deactivates.
+//
+// The algorithm wakes every node within O(ρ_awk) rounds and sends
+// O(n^{3/2}·√(log n)) messages w.h.p.
+type FastWakeUp struct {
+	// RootProb overrides the root-sampling probability when positive;
+	// otherwise √(log n / n) with the natural logarithm is used.
+	RootProb float64
+}
+
+var _ sim.SyncAlgorithm = FastWakeUp{}
+
+// Name implements sim.SyncAlgorithm.
+func (FastWakeUp) Name() string { return "fast-wakeup" }
+
+// NewMachine implements sim.SyncAlgorithm.
+func (a FastWakeUp) NewMachine(info sim.NodeInfo) sim.SyncProgram {
+	p := a.RootProb
+	if p <= 0 {
+		p = math.Sqrt(math.Log(float64(info.N)) / float64(info.N))
+		if p > 1 {
+			p = 1
+		}
+	}
+	return &fwMachine{info: info, rootProb: p}
+}
+
+// Relative deactivation offsets, in local rounds from the round a role was
+// assumed (the tree completes when level-3 invites are delivered, 9 rounds
+// after the root's initial broadcast).
+const (
+	fwRootDeactivate = 10 // root local round at which it is deactivated
+	fwL1Deactivate   = 8  // rounds after joining as level-1
+	fwL2Deactivate   = 5  // rounds after joining as level-2
+	fwBroadcastRound = 10 // active node broadcasts ⟨activate!⟩ in its 10th round
+)
+
+// --- Messages (LOCAL model; sizes account for carried ID lists) ---
+
+type fwL1Invite struct {
+	Root graph.NodeID
+	W    int
+}
+
+func (m fwL1Invite) Bits() int { return tagBits + m.W }
+
+type fwL1Report struct {
+	Root      graph.NodeID
+	Neighbors []graph.NodeID
+	W         int
+}
+
+func (m fwL1Report) Bits() int { return tagBits + m.W + idSetBits(m.Neighbors, m.W) }
+
+type fwS2Assign struct {
+	Root     graph.NodeID
+	Children []graph.NodeID
+	W        int
+}
+
+func (m fwS2Assign) Bits() int { return tagBits + m.W + idSetBits(m.Children, m.W) }
+
+type fwL2Invite struct {
+	Root graph.NodeID
+	W    int
+}
+
+func (m fwL2Invite) Bits() int { return tagBits + m.W }
+
+type fwL2Report struct {
+	Root      graph.NodeID
+	Neighbors []graph.NodeID
+	W         int
+}
+
+func (m fwL2Report) Bits() int { return tagBits + m.W + idSetBits(m.Neighbors, m.W) }
+
+type fwChildReport struct {
+	Child     graph.NodeID
+	Neighbors []graph.NodeID
+}
+
+type fwL2Batch struct {
+	Root    graph.NodeID
+	Reports []fwChildReport
+	W       int
+}
+
+func (m fwL2Batch) Bits() int {
+	bits := tagBits + 2*m.W
+	for _, r := range m.Reports {
+		bits += m.W + idSetBits(r.Neighbors, m.W)
+	}
+	return bits
+}
+
+type fwL3Entry struct {
+	Child         graph.NodeID // level-2 node
+	Grandchildren []graph.NodeID
+}
+
+type fwS3Assign struct {
+	Root    graph.NodeID
+	Entries []fwL3Entry
+	W       int
+}
+
+func (m fwS3Assign) Bits() int {
+	bits := tagBits + 2*m.W
+	for _, e := range m.Entries {
+		bits += m.W + idSetBits(e.Grandchildren, m.W)
+	}
+	return bits
+}
+
+type fwS3Leaf struct {
+	Root     graph.NodeID
+	Children []graph.NodeID
+	W        int
+}
+
+func (m fwS3Leaf) Bits() int { return tagBits + m.W + idSetBits(m.Children, m.W) }
+
+type fwL3Invite struct {
+	Root graph.NodeID
+	W    int
+}
+
+func (m fwL3Invite) Bits() int { return tagBits + m.W }
+
+type fwActivate struct{}
+
+func (fwActivate) Bits() int { return tagBits }
+
+// --- Machine ---
+
+type fwRootState struct {
+	l1Set    map[graph.NodeID]bool
+	l2Set    map[graph.NodeID]bool
+	l2Parent map[graph.NodeID]graph.NodeID // level-2 node -> its level-1 parent
+}
+
+type fwMachine struct {
+	info     sim.NodeInfo
+	rootProb float64
+
+	local        int // rounds since waking; 1 in the wake round
+	active       bool
+	deactivated  bool
+	deactivateAt int // local round at which deactivation applies (0: none)
+	isRoot       bool
+	root         *fwRootState
+
+	// myChildren[r] is this node's assigned level-2 children in tree r
+	// (this node is a level-1 member); used to route S3 portions.
+	myChildren map[graph.NodeID][]graph.NodeID
+}
+
+var _ sim.Quiescer = (*fwMachine)(nil)
+
+func (m *fwMachine) OnWake(ctx sim.Context) {
+	if ctx.AdversarialWake() {
+		m.active = true
+	}
+}
+
+// Quiescent implements sim.Quiescer: the only self-scheduled activity is
+// the active pipeline (sampling, broadcast, deactivation); passive and
+// deactivated nodes are purely message-driven.
+func (m *fwMachine) Quiescent() bool {
+	return m.deactivated || !(m.active || m.deactivateAt > 0)
+}
+
+func (m *fwMachine) scheduleDeactivate(at int) {
+	if m.deactivateAt == 0 || at < m.deactivateAt {
+		m.deactivateAt = at
+	}
+}
+
+func (m *fwMachine) OnRound(ctx sim.Context, inbox []sim.Delivery) {
+	m.local++
+	w := m.info.LogN + 1
+
+	// Classify the inbox. All same-role messages of a tree arrive in the
+	// same round because the construction pipeline is lock-step.
+	var l1Reports []fwChildReport                       // I am the root
+	l2Reports := make(map[graph.NodeID][]fwChildReport) // I am a level-1 parent
+	batches := make(map[graph.NodeID][]fwChildReport)   // I am the root
+	joinedTree := false
+	sawActivation := false
+
+	for _, d := range inbox {
+		switch msg := d.Msg.(type) {
+		case fwL1Invite:
+			// Join as level-1 and report my neighborhood to the root.
+			joinedTree = true
+			m.scheduleDeactivate(m.local + fwL1Deactivate)
+			ctx.SendToID(msg.Root, fwL1Report{Root: msg.Root, Neighbors: m.info.NeighborIDs, W: w})
+		case fwL1Report:
+			l1Reports = append(l1Reports, fwChildReport{Child: d.From, Neighbors: msg.Neighbors})
+		case fwS2Assign:
+			if m.myChildren == nil {
+				m.myChildren = make(map[graph.NodeID][]graph.NodeID)
+			}
+			m.myChildren[msg.Root] = msg.Children
+			for _, c := range msg.Children {
+				ctx.SendToID(c, fwL2Invite{Root: msg.Root, W: w})
+			}
+		case fwL2Invite:
+			// Join as level-2 and report my neighborhood to my parent.
+			joinedTree = true
+			m.scheduleDeactivate(m.local + fwL2Deactivate)
+			ctx.SendToID(d.From, fwL2Report{Root: msg.Root, Neighbors: m.info.NeighborIDs, W: w})
+		case fwL2Report:
+			l2Reports[msg.Root] = append(l2Reports[msg.Root],
+				fwChildReport{Child: d.From, Neighbors: msg.Neighbors})
+		case fwL2Batch:
+			batches[msg.Root] = append(batches[msg.Root], msg.Reports...)
+		case fwS3Assign:
+			for _, e := range msg.Entries {
+				ctx.SendToID(e.Child, fwS3Leaf{Root: msg.Root, Children: e.Grandchildren, W: w})
+			}
+		case fwS3Leaf:
+			for _, c := range msg.Children {
+				ctx.SendToID(c, fwL3Invite{Root: msg.Root, W: w})
+			}
+		case fwL3Invite:
+			sawActivation = true
+		case fwActivate:
+			sawActivation = true
+		}
+	}
+
+	// Status updates for a node woken this round by a message: joining at
+	// level 1 or 2 takes precedence (the node will be deactivated when the
+	// tree completes); otherwise an activation message makes it active.
+	if m.local == 1 && !ctx.AdversarialWake() && sawActivation && !joinedTree {
+		m.active = true
+	}
+
+	// Root duties: process complete per-round batches.
+	if len(l1Reports) > 0 && m.isRoot {
+		m.assignLevel2(ctx, l1Reports, w)
+	}
+	for _, root := range sortedKeys(l2Reports) {
+		// Forward my children's reports to the tree root in one batch.
+		ctx.SendToID(root, fwL2Batch{Root: root, Reports: l2Reports[root], W: w})
+	}
+	for _, root := range sortedKeys(batches) {
+		if root == m.info.ID && m.isRoot {
+			m.assignLevel3(ctx, batches[root], w)
+		}
+	}
+
+	// Scheduled deactivation.
+	if !m.deactivated && m.deactivateAt > 0 && m.local >= m.deactivateAt {
+		m.deactivated = true
+		m.active = false
+	}
+	if m.deactivated || !m.active {
+		return
+	}
+
+	// Active pipeline.
+	if m.local == 1 {
+		// Sampling step.
+		if ctx.Rand().Float64() < m.rootProb {
+			m.isRoot = true
+			m.root = &fwRootState{l1Set: make(map[graph.NodeID]bool, m.info.Degree)}
+			for _, id := range m.info.NeighborIDs {
+				m.root.l1Set[id] = true
+			}
+			m.scheduleDeactivate(fwRootDeactivate)
+			ctx.Broadcast(fwL1Invite{Root: m.info.ID, W: w})
+		}
+	}
+	if m.local == fwBroadcastRound {
+		ctx.Broadcast(fwActivate{})
+	}
+	if m.local >= fwBroadcastRound+1 {
+		m.deactivated = true
+		m.active = false
+	}
+}
+
+// assignLevel2 runs at the root when all level-1 reports arrive: compute
+// the level-2 candidate set, assign each candidate its (lowest-ID) level-1
+// parent, and ship per-parent child lists (the BFS edge set S2).
+func (m *fwMachine) assignLevel2(ctx sim.Context, reports []fwChildReport, w int) {
+	me := m.info.ID
+	rs := m.root
+	rs.l2Parent = make(map[graph.NodeID]graph.NodeID)
+	rs.l2Set = make(map[graph.NodeID]bool)
+	for _, rep := range reports {
+		for _, cand := range rep.Neighbors {
+			if cand == me || rs.l1Set[cand] {
+				continue
+			}
+			if p, ok := rs.l2Parent[cand]; !ok || rep.Child < p {
+				rs.l2Parent[cand] = rep.Child
+			}
+		}
+	}
+	perParent := make(map[graph.NodeID][]graph.NodeID)
+	for child, parent := range rs.l2Parent {
+		rs.l2Set[child] = true
+		perParent[parent] = append(perParent[parent], child)
+	}
+	for _, parent := range sortedKeys(perParent) {
+		children := perParent[parent]
+		sortIDs(children)
+		ctx.SendToID(parent, fwS2Assign{Root: me, Children: children, W: w})
+	}
+}
+
+// assignLevel3 runs at the root when all level-2 batches arrive: compute
+// level-3 candidates, assign each a level-2 parent, and route the edge set
+// S3 through the level-1 parents.
+func (m *fwMachine) assignLevel3(ctx sim.Context, reports []fwChildReport, w int) {
+	me := m.info.ID
+	rs := m.root
+	l3Parent := make(map[graph.NodeID]graph.NodeID)
+	for _, rep := range reports {
+		for _, cand := range rep.Neighbors {
+			if cand == me || rs.l1Set[cand] || rs.l2Set[cand] {
+				continue
+			}
+			if p, ok := l3Parent[cand]; !ok || rep.Child < p {
+				l3Parent[cand] = rep.Child
+			}
+		}
+	}
+	// Group grandchildren by their level-2 parent, then by that parent's
+	// level-1 parent for routing.
+	perL2 := make(map[graph.NodeID][]graph.NodeID)
+	for gc, l2 := range l3Parent {
+		perL2[l2] = append(perL2[l2], gc)
+	}
+	perL1 := make(map[graph.NodeID][]fwL3Entry)
+	for _, l2 := range sortedKeys(perL2) {
+		gcs := perL2[l2]
+		sortIDs(gcs)
+		l1 := rs.l2Parent[l2]
+		perL1[l1] = append(perL1[l1], fwL3Entry{Child: l2, Grandchildren: gcs})
+	}
+	for _, l1 := range sortedKeys(perL1) {
+		ctx.SendToID(l1, fwS3Assign{Root: me, Entries: perL1[l1], W: w})
+	}
+}
+
+func sortIDs(ids []graph.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// sortedKeys returns the keys of a map in ascending order for
+// deterministic iteration.
+func sortedKeys[V any](m map[graph.NodeID]V) []graph.NodeID {
+	keys := make([]graph.NodeID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortIDs(keys)
+	return keys
+}

@@ -1,0 +1,30 @@
+package core
+
+import "riseandshine/internal/sim"
+
+// Flood is the folklore flooding algorithm: every node broadcasts a wake-up
+// message over all incident edges the moment it wakes. It solves the
+// wake-up problem in exactly ρ_awk time with Θ(m) messages and needs
+// neither advice nor identifiers, so it runs under KT0 CONGEST. It is both
+// the time-optimal baseline (§1.2: ρ_awk equals the time complexity of
+// flooding) and the message-complexity strawman every scheme in the paper
+// improves upon.
+type Flood struct{}
+
+var _ sim.Algorithm = Flood{}
+
+// Name implements sim.Algorithm.
+func (Flood) Name() string { return "flood" }
+
+// NewMachine implements sim.Algorithm.
+func (Flood) NewMachine(sim.NodeInfo) sim.Program { return &floodMachine{} }
+
+type floodMachine struct{}
+
+func (m *floodMachine) OnWake(ctx sim.Context) {
+	ctx.Broadcast(WakeMsg{})
+}
+
+func (m *floodMachine) OnMessage(sim.Context, sim.Delivery) {
+	// Waking (and the broadcast in OnWake) is all there is to do.
+}

@@ -1,0 +1,53 @@
+package core
+
+import "riseandshine/internal/sim"
+
+// PushGossip is the push-only gossip comparator discussed in §1.3: every
+// awake node sends a wake-up to one uniformly random neighbor per round,
+// for a fixed budget of rounds. Push-only gossip solves broadcast quickly
+// on regular expanders, but the paper's footnote 3 example (a clique with
+// one pendant node — graph.Lollipop) shows it needs Ω(n) rounds in
+// expectation on general graphs, because sleeping nodes cannot pull. It is
+// included as an ablation: gossip does not solve adversarial wake-up
+// message-efficiently.
+type PushGossip struct {
+	// Rounds is the per-node push budget after waking. Zero selects
+	// 4·⌈log2 n⌉, which suffices w.h.p. on good expanders and
+	// demonstratively fails on the lollipop.
+	Rounds int
+}
+
+var _ sim.SyncAlgorithm = PushGossip{}
+
+// Name implements sim.SyncAlgorithm.
+func (PushGossip) Name() string { return "push-gossip" }
+
+// NewMachine implements sim.SyncAlgorithm.
+func (a PushGossip) NewMachine(info sim.NodeInfo) sim.SyncProgram {
+	budget := a.Rounds
+	if budget <= 0 {
+		budget = 4 * info.LogN
+	}
+	return &pushMachine{info: info, budget: budget}
+}
+
+type pushMachine struct {
+	info   sim.NodeInfo
+	budget int
+}
+
+var _ sim.Quiescer = (*pushMachine)(nil)
+
+func (m *pushMachine) OnWake(sim.Context) {}
+
+func (m *pushMachine) OnRound(ctx sim.Context, _ []sim.Delivery) {
+	if m.budget <= 0 || m.info.Degree == 0 {
+		return
+	}
+	m.budget--
+	target := m.info.NeighborIDs[ctx.Rand().Intn(m.info.Degree)]
+	ctx.SendToID(target, WakeMsg{})
+}
+
+// Quiescent implements sim.Quiescer.
+func (m *pushMachine) Quiescent() bool { return m.budget <= 0 || m.info.Degree == 0 }

@@ -1,0 +1,21 @@
+package core
+
+import "riseandshine/internal/graph"
+
+// tagBits is the accounting cost of a message-type tag.
+const tagBits = 4
+
+// WakeMsg is a bare wake-up signal carrying no payload.
+type WakeMsg struct{}
+
+// Bits implements sim.Message.
+func (WakeMsg) Bits() int { return tagBits }
+
+// idListBits returns the accounted size of a list of cnt node IDs of width
+// w bits each, plus a length header.
+func idListBits(cnt, w int) int {
+	return w + cnt*w
+}
+
+// idSetBits sizes a message carrying the given ID list.
+func idSetBits(ids []graph.NodeID, w int) int { return idListBits(len(ids), w) }

@@ -1,0 +1,192 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"riseandshine/internal/advice"
+	"riseandshine/internal/core"
+	"riseandshine/internal/graph"
+	"riseandshine/internal/sim"
+)
+
+// testGraphs returns a small zoo of connected graphs exercising different
+// degree profiles and diameters.
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	return map[string]*graph.Graph{
+		"path50":     graph.Path(50),
+		"cycle31":    graph.Cycle(31),
+		"star40":     graph.Star(40),
+		"grid8x8":    graph.Grid(8, 8),
+		"complete20": graph.Complete(20),
+		"tree100":    graph.RandomTree(100, rng),
+		"gnp100":     graph.RandomConnected(100, 0.05, rng),
+		"lollipop":   graph.Lollipop(20, 5),
+		"binary127":  graph.BinaryTree(127),
+	}
+}
+
+func schedules(g *graph.Graph) map[string]sim.WakeScheduler {
+	return map[string]sim.WakeScheduler{
+		"single": sim.WakeSingle(0),
+		"all":    sim.WakeAll{},
+		"random": sim.RandomWake{Count: 3, Window: 5, Seed: 11},
+	}
+}
+
+func TestAsyncAlgorithmsWakeEveryone(t *testing.T) {
+	algs := map[string]struct {
+		alg    sim.Algorithm
+		model  sim.Model
+		oracle advice.Oracle
+	}{
+		"flood":     {alg: core.Flood{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}},
+		"dfs-rank":  {alg: core.DFSRank{}, model: sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local}},
+		"fip06":     {alg: core.FIP06{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, oracle: core.FIP06Oracle{}},
+		"threshold": {alg: core.Threshold{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, oracle: core.ThresholdOracle{}},
+		"cen":       {alg: core.CEN{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, oracle: core.CENOracle{}},
+		"spanner2":  {alg: core.SpannerScheme{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, oracle: core.SpannerOracle{K: 2}},
+		"echo":      {alg: core.EchoFlood{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}},
+		"count":     {alg: core.CountingWake{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}},
+		"cdfs":      {alg: core.CongestDFS{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}},
+		"leader":    {alg: core.LeaderElect{}, model: sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local}},
+	}
+	for gname, g := range testGraphs(t) {
+		for aname, tc := range algs {
+			for sname, sched := range schedules(g) {
+				for dname, delay := range map[string]sim.Delayer{
+					"unit":   sim.UnitDelay{},
+					"random": sim.RandomDelay{Seed: 3},
+				} {
+					name := gname + "/" + aname + "/" + sname + "/" + dname
+					t.Run(name, func(t *testing.T) {
+						pm := graph.RandomPorts(g, rand.New(rand.NewSource(5)))
+						cfg := sim.Config{
+							Graph: g,
+							Ports: pm,
+							Model: tc.model,
+							Adversary: sim.Adversary{
+								Schedule: sched,
+								Delays:   delay,
+							},
+							Seed:          99,
+							StrictCongest: tc.model.Bandwidth == sim.Congest,
+						}
+						if tc.oracle != nil {
+							adv, bits, err := tc.oracle.Advise(g, pm)
+							if err != nil {
+								t.Fatalf("oracle: %v", err)
+							}
+							cfg.Advice, cfg.AdviceBits = adv, bits
+						}
+						res, err := sim.RunAsync(cfg, tc.alg)
+						if err != nil {
+							t.Fatalf("run: %v", err)
+						}
+						if !res.AllAwake {
+							t.Fatalf("only %d/%d nodes woke up", res.AwakeCount, res.N)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestSyncAlgorithmsWakeEveryone(t *testing.T) {
+	algs := map[string]struct {
+		alg   sim.SyncAlgorithm
+		model sim.Model
+	}{
+		"flood-sync":  {alg: sim.AsSync(core.Flood{}), model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}},
+		"fast-wakeup": {alg: core.FastWakeUp{}, model: sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local}},
+	}
+	for gname, g := range testGraphs(t) {
+		for aname, tc := range algs {
+			for sname, sched := range schedules(g) {
+				name := gname + "/" + aname + "/" + sname
+				t.Run(name, func(t *testing.T) {
+					res, err := sim.RunSync(sim.SyncConfig{
+						Graph:    g,
+						Model:    tc.model,
+						Schedule: sched,
+						Seed:     42,
+					}, tc.alg)
+					if err != nil {
+						t.Fatalf("run: %v", err)
+					}
+					if !res.AllAwake {
+						t.Fatalf("only %d/%d nodes woke up", res.AwakeCount, res.N)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFastWakeUpRhoAwkTime verifies the Theorem 4 guarantee shape: the
+// wake-up completes within a constant factor of the awake distance.
+func TestFastWakeUpRhoAwkTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for name, g := range map[string]*graph.Graph{
+		"grid":  graph.Grid(12, 12),
+		"gnp":   graph.RandomConnected(150, 0.03, rng),
+		"cycle": graph.Cycle(60),
+	} {
+		t.Run(name, func(t *testing.T) {
+			sched := sim.WakeSingle(0)
+			rho := g.AwakeDistance([]int{0})
+			res, err := sim.RunSync(sim.SyncConfig{
+				Graph:    g,
+				Model:    sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local},
+				Schedule: sched,
+				Seed:     7,
+			}, core.FastWakeUp{})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !res.AllAwake {
+				t.Fatalf("only %d/%d awake", res.AwakeCount, res.N)
+			}
+			limit := 10*rho + 11
+			if int(res.WakeSpan) > limit {
+				t.Errorf("wake span %v exceeds 10·ρ_awk+11 = %d (ρ_awk=%d)", res.WakeSpan, limit, rho)
+			}
+		})
+	}
+}
+
+// TestDFSRankMessageBound checks the Theorem 3 shape: messages stay within
+// a modest multiple of n·log n even under staggered adversarial wake-ups.
+func TestDFSRankMessageBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomConnected(300, 0.02, rng)
+	sched := sim.StaggeredWake{
+		Sizes: []int{1, 1, 2, 4, 8, 16, 32},
+		Gap:   50,
+		Seed:  13,
+	}
+	res, err := sim.RunAsync(sim.Config{
+		Graph: g,
+		Model: sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local},
+		Adversary: sim.Adversary{
+			Schedule: sched,
+			Delays:   sim.RandomDelay{Seed: 17},
+		},
+		Seed: 21,
+	}, core.DFSRank{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.AllAwake {
+		t.Fatalf("only %d/%d awake", res.AwakeCount, res.N)
+	}
+	n := float64(res.N)
+	bound := 20 * n * math.Log(n)
+	if float64(res.Messages) > bound {
+		t.Errorf("messages %d exceed 20·n·ln n = %.0f", res.Messages, bound)
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+
+	"riseandshine/internal/advice"
+	"riseandshine/internal/graph"
+	"riseandshine/internal/sim"
+)
+
+// ThresholdOracle implements the Theorem 5(A) advising scheme: compute a
+// BFS tree; a node with at most √n tree neighbors (a "low degree tree
+// node") is advised the explicit list of its tree ports, while a node with
+// more tree neighbors (a "high degree tree node") receives a single marker
+// bit and will simply broadcast.
+//
+// Since the tree has n−1 edges, at most O(√n) nodes are high degree, so
+// the message complexity is O(n^{3/2}); the maximum advice length is
+// O(√n·log n) bits and the average O(log n) bits; time is O(D).
+type ThresholdOracle struct {
+	// Root selects the BFS root.
+	Root int
+	// Threshold overrides the √n cut-off when positive.
+	Threshold int
+}
+
+var _ advice.Oracle = ThresholdOracle{}
+
+// Name implements advice.Oracle.
+func (ThresholdOracle) Name() string { return "threshold-bfs-tree" }
+
+// Advise implements advice.Oracle.
+func (o ThresholdOracle) Advise(g *graph.Graph, pm *graph.PortMap) ([][]byte, []int, error) {
+	ports, err := treePorts(g, pm, o.Root)
+	if err != nil {
+		return nil, nil, err
+	}
+	thr := o.Threshold
+	if thr <= 0 {
+		thr = int(math.Sqrt(float64(g.N())))
+		if thr < 1 {
+			thr = 1
+		}
+	}
+	bits := make([][]byte, g.N())
+	lengths := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		var wr advice.Writer
+		if len(ports[v]) > thr {
+			wr.WriteBool(true) // high degree tree node: broadcast
+		} else {
+			wr.WriteBool(false)
+			w := advice.BitsFor(g.Degree(v))
+			wr.WriteBits(uint64(len(ports[v])), w)
+			for _, p := range ports[v] {
+				wr.WriteBits(uint64(p), w)
+			}
+		}
+		bits[v] = wr.Bytes()
+		lengths[v] = wr.Len()
+	}
+	return bits, lengths, nil
+}
+
+// Threshold is the distributed algorithm of the Theorem 5(A) scheme. It
+// runs in the asynchronous KT0 CONGEST model.
+type Threshold struct{}
+
+var _ sim.Algorithm = Threshold{}
+
+// Name implements sim.Algorithm.
+func (Threshold) Name() string { return "threshold" }
+
+// NewMachine implements sim.Algorithm.
+func (Threshold) NewMachine(info sim.NodeInfo) sim.Program {
+	return &thresholdMachine{info: info}
+}
+
+type thresholdMachine struct {
+	info sim.NodeInfo
+}
+
+func (m *thresholdMachine) OnWake(ctx sim.Context) {
+	r := advice.NewReader(m.info.Advice, m.info.AdviceBits)
+	if r.ReadBool() {
+		// High degree tree node: broadcast over all incident edges.
+		ctx.Broadcast(WakeMsg{})
+		return
+	}
+	w := advice.BitsFor(m.info.Degree)
+	count := int(r.ReadBits(w))
+	for i := 0; i < count; i++ {
+		ctx.Send(int(r.ReadBits(w)), WakeMsg{})
+	}
+}
+
+func (m *thresholdMachine) OnMessage(sim.Context, sim.Delivery) {}

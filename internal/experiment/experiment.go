@@ -1,0 +1,375 @@
+// Package experiment contains shared plumbing for the command-line tools
+// and the benchmark harness: graph/schedule specification parsing, seeded
+// multi-run aggregation, and plain-text table rendering.
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"riseandshine/internal/graph"
+	"riseandshine/internal/sim"
+)
+
+// ParseGraph builds a graph from a compact spec string:
+//
+//	path:N | cycle:N | star:N | complete:N | bipartite:A:B | grid:RxC |
+//	torus:RxC | hypercube:D | lollipop:K:TAIL | tree:N | binary:N |
+//	gnp:N:P | connected:N:P | caterpillar:SPINE:LEGS | wheel:N |
+//	kary:N:K | debruijn:D | regular:N:D | ba:N:M | file:PATH
+//
+// Random families take the given seed.
+func ParseGraph(spec string, seed int64) (*graph.Graph, error) {
+	parts := strings.Split(spec, ":")
+	kind := parts[0]
+	args := parts[1:]
+	atoi := func(i int) (int, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("experiment: graph spec %q: missing argument %d", spec, i+1)
+		}
+		return strconv.Atoi(args[i])
+	}
+	atof := func(i int) (float64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("experiment: graph spec %q: missing argument %d", spec, i+1)
+		}
+		return strconv.ParseFloat(args[i], 64)
+	}
+	dims := func(i int) (int, int, error) {
+		if i >= len(args) {
+			return 0, 0, fmt.Errorf("experiment: graph spec %q: missing RxC argument", spec)
+		}
+		rc := strings.SplitN(args[i], "x", 2)
+		if len(rc) != 2 {
+			return 0, 0, fmt.Errorf("experiment: graph spec %q: want RxC, got %q", spec, args[i])
+		}
+		r, err := strconv.Atoi(rc[0])
+		if err != nil {
+			return 0, 0, err
+		}
+		c, err := strconv.Atoi(rc[1])
+		return r, c, err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "file":
+		if len(args) == 0 {
+			return nil, fmt.Errorf("experiment: graph spec %q: missing path", spec)
+		}
+		// Re-join in case the path itself contains colons.
+		path := strings.Join(args, ":")
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+		defer f.Close()
+		return graph.ReadEdgeList(f)
+	case "path":
+		n, err := atoi(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Path(n), nil
+	case "cycle":
+		n, err := atoi(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Cycle(n), nil
+	case "star":
+		n, err := atoi(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Star(n), nil
+	case "complete":
+		n, err := atoi(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Complete(n), nil
+	case "bipartite":
+		a, err := atoi(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.CompleteBipartite(a, b), nil
+	case "grid":
+		r, c, err := dims(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Grid(r, c), nil
+	case "torus":
+		r, c, err := dims(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Torus(r, c), nil
+	case "hypercube":
+		d, err := atoi(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Hypercube(d), nil
+	case "lollipop":
+		k, err := atoi(0)
+		if err != nil {
+			return nil, err
+		}
+		tail, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Lollipop(k, tail), nil
+	case "tree":
+		n, err := atoi(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.RandomTree(n, rng), nil
+	case "binary":
+		n, err := atoi(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.BinaryTree(n), nil
+	case "caterpillar":
+		spine, err := atoi(0)
+		if err != nil {
+			return nil, err
+		}
+		legs, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Caterpillar(spine, legs), nil
+	case "wheel":
+		n, err := atoi(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Wheel(n), nil
+	case "kary":
+		n, err := atoi(0)
+		if err != nil {
+			return nil, err
+		}
+		k, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.KAryTree(n, k), nil
+	case "debruijn":
+		d, err := atoi(0)
+		if err != nil {
+			return nil, err
+		}
+		return graph.DeBruijn(d), nil
+	case "regular":
+		n, err := atoi(0)
+		if err != nil {
+			return nil, err
+		}
+		d, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.RandomRegular(n, d, rng), nil
+	case "ba":
+		n, err := atoi(0)
+		if err != nil {
+			return nil, err
+		}
+		m, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.PreferentialAttachment(n, m, rng), nil
+	case "gnp":
+		n, err := atoi(0)
+		if err != nil {
+			return nil, err
+		}
+		p, err := atof(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.RandomGNP(n, p, rng), nil
+	case "connected":
+		n, err := atoi(0)
+		if err != nil {
+			return nil, err
+		}
+		p, err := atof(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.RandomConnected(n, p, rng), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown graph kind %q", kind)
+	}
+}
+
+// ParseSchedule builds a wake schedule from a spec string:
+//
+//	single | single:V | all | dominating | random:K | random:K:WINDOW |
+//	staggered:S1,S2,...:GAP
+func ParseSchedule(spec string, seed int64) (sim.WakeScheduler, error) {
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "single":
+		v := 0
+		if len(parts) > 1 {
+			var err error
+			if v, err = strconv.Atoi(parts[1]); err != nil {
+				return nil, err
+			}
+		}
+		return sim.WakeSingle(v), nil
+	case "all":
+		return sim.WakeAll{}, nil
+	case "dominating":
+		return sim.DominatingWake{}, nil
+	case "random":
+		k := 1
+		window := 0.0
+		var err error
+		if len(parts) > 1 {
+			if k, err = strconv.Atoi(parts[1]); err != nil {
+				return nil, err
+			}
+		}
+		if len(parts) > 2 {
+			if window, err = strconv.ParseFloat(parts[2], 64); err != nil {
+				return nil, err
+			}
+		}
+		return sim.RandomWake{Count: k, Window: sim.Time(window), Seed: seed}, nil
+	case "staggered":
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("experiment: staggered spec wants staggered:S1,S2,..:GAP")
+		}
+		var sizes []int
+		for _, s := range strings.Split(parts[1], ",") {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, err
+			}
+			sizes = append(sizes, v)
+		}
+		gap, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, err
+		}
+		return sim.StaggeredWake{Sizes: sizes, Gap: sim.Time(gap), Seed: seed}, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown schedule %q", parts[0])
+	}
+}
+
+// ParseDelays builds a delay adversary from "unit" or "random".
+func ParseDelays(spec string, seed int64) (sim.Delayer, error) {
+	switch spec {
+	case "", "unit":
+		return sim.UnitDelay{}, nil
+	case "random":
+		return sim.RandomDelay{Seed: seed}, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown delay strategy %q", spec)
+	}
+}
+
+// Table renders rows as a fixed-width plain-text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends one row; values are formatted with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = strconv.FormatFloat(v, 'g', 4, 64)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteCSV writes the table as a CSV file, creating parent directories as
+// needed. Cells containing commas or quotes are quoted.
+func (t *Table) WriteCSV(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for pad := len(cell); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

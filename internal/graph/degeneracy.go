@@ -1,0 +1,75 @@
+package graph
+
+// DegeneracyOrder computes a degeneracy (smallest-last) elimination order
+// using the standard bucket algorithm: repeatedly remove a node of minimum
+// residual degree. It returns the removal order and the degeneracy d (the
+// maximum residual degree at removal time). Orienting every edge from the
+// earlier-removed endpoint to the later one yields out-degree ≤ d at every
+// node; a graph with girth > 2k has degeneracy O(n^{1/k}), which is how
+// Theorem 6's scheme caps per-node advice for spanner adjacency.
+func DegeneracyOrder(g *Graph) (order []int, degeneracy int) {
+	n := g.N()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	buckets := make([][]int32, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], int32(v))
+	}
+	removed := make([]bool, n)
+	order = make([]int, 0, n)
+	cur := 0
+	for len(order) < n {
+		// The minimum residual degree can only drop by one per removal,
+		// so scan upward from just below the previous level.
+		if cur > 0 {
+			cur--
+		}
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		b := buckets[cur]
+		v := int(b[len(b)-1])
+		buckets[cur] = b[:len(b)-1]
+		if removed[v] || deg[v] != cur {
+			continue // stale bucket entry
+		}
+		removed[v] = true
+		order = append(order, v)
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		for _, w := range g.Neighbors(v) {
+			if !removed[w] {
+				deg[w]--
+				buckets[deg[w]] = append(buckets[deg[w]], w)
+			}
+		}
+	}
+	return order, degeneracy
+}
+
+// OrientByOrder orients each edge from its earlier endpoint (in the given
+// elimination order) to the later one, returning out[v] = the oriented
+// out-neighbors of v. With a degeneracy order, |out[v]| ≤ degeneracy.
+func OrientByOrder(g *Graph, order []int) [][]int32 {
+	rank := make([]int, g.N())
+	for i, v := range order {
+		rank[v] = i
+	}
+	out := make([][]int32, g.N())
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		if rank[u] < rank[v] {
+			out[u] = append(out[u], int32(v))
+		} else {
+			out[v] = append(out[v], int32(u))
+		}
+	}
+	return out
+}

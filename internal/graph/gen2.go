@@ -1,0 +1,221 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Wheel returns the wheel graph: a cycle on nodes 1..n-1 plus a hub (node
+// 0) adjacent to every cycle node. Requires n ≥ 4.
+func Wheel(n int) *Graph {
+	if n < 4 {
+		panic(fmt.Sprintf("graph: wheel needs n >= 4, got %d", n))
+	}
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+		next := v + 1
+		if next == n {
+			next = 1
+		}
+		b.AddEdge(v, next)
+	}
+	return b.MustBuild()
+}
+
+// KAryTree returns the complete k-ary tree on n nodes rooted at 0: node v
+// has children k·v+1 … k·v+k.
+func KAryTree(n, k int) *Graph {
+	if k < 1 {
+		panic(fmt.Sprintf("graph: k-ary tree needs k >= 1, got %d", k))
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for i := 1; i <= k; i++ {
+			c := k*v + i
+			if c < n {
+				b.AddEdge(v, c)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// DeBruijn returns the undirected simple version of the binary de Bruijn
+// graph on 2^d nodes: v is adjacent to (2v mod 2^d) and (2v+1 mod 2^d),
+// with self-loops and parallel edges dropped. It is a classic
+// constant-degree, logarithmic-diameter interconnect topology.
+func DeBruijn(d int) *Graph {
+	n := 1 << d
+	type edge struct{ u, v int }
+	seen := make(map[edge]bool)
+	b := NewBuilder(n)
+	add := func(u, v int) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[edge{u, v}] {
+			return
+		}
+		seen[edge{u, v}] = true
+		b.AddEdge(u, v)
+	}
+	for v := 0; v < n; v++ {
+		add(v, (2*v)%n)
+		add(v, (2*v+1)%n)
+	}
+	return b.MustBuild()
+}
+
+// PreferentialAttachment returns a Barabási–Albert graph: nodes arrive one
+// at a time and attach m edges to existing nodes chosen proportionally to
+// their current degree (without duplicate edges). The result is connected
+// with a heavy-tailed degree distribution — the hub-dominated workload
+// that stresses per-node advice lengths. Requires 1 ≤ m < n.
+func PreferentialAttachment(n, m int, rng *rand.Rand) *Graph {
+	if m < 1 || m >= n {
+		panic(fmt.Sprintf("graph: preferential attachment needs 1 <= m < n, got m=%d n=%d", m, n))
+	}
+	b := NewBuilder(n)
+	// Repeated-endpoint list: each edge contributes both endpoints, so
+	// sampling uniformly from it is degree-proportional sampling.
+	endpoints := make([]int32, 0, 2*m*n)
+	// Seed clique on the first m+1 nodes.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			b.AddEdge(u, v)
+			endpoints = append(endpoints, int32(u), int32(v))
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := make(map[int32]bool, m)
+		for len(chosen) < m {
+			t := endpoints[rng.Intn(len(endpoints))]
+			chosen[t] = true
+		}
+		for t := range chosen {
+			b.AddEdge(v, int(t))
+			endpoints = append(endpoints, int32(v), t)
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomRegular returns a simple d-regular graph on n nodes sampled via
+// the configuration (pairing) model with edge-switching repair: an initial
+// random pairing of stubs is cleaned of self-loops and parallel edges by
+// random double-edge swaps, the standard technique (rejection-free, so it
+// does not suffer the e^{Θ(d²)} restart blow-up of naive resampling).
+// Requires n·d even and d < n. Random regular graphs are expanders
+// w.h.p., making them the standard gossip-friendly workload.
+func RandomRegular(n, d int, rng *rand.Rand) *Graph {
+	if n*d%2 != 0 {
+		panic(fmt.Sprintf("graph: n·d must be even, got n=%d d=%d", n, d))
+	}
+	if d >= n {
+		panic(fmt.Sprintf("graph: regular graph needs d < n, got d=%d n=%d", d, n))
+	}
+	if d == n-1 {
+		// The unique (n−1)-regular graph is K_n; the switching repair has
+		// no slack there, so construct it directly.
+		return Complete(n)
+	}
+	for attempt := 0; attempt < 50; attempt++ {
+		if g, ok := tryRandomRegular(n, d, rng); ok {
+			return g
+		}
+	}
+	panic("graph: random regular: edge-switch repair did not converge")
+}
+
+// tryRandomRegular makes one pairing-plus-repair attempt; it reports
+// failure instead of spinning when the repair budget runs out (possible
+// only for d very close to n, where the endgame can deadlock).
+func tryRandomRegular(n, d int, rng *rand.Rand) (*Graph, bool) {
+	stubs := make([]int32, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, int32(v))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	nPairs := len(stubs) / 2
+	pairs := make([][2]int32, nPairs)
+	count := make(map[int64]int, nPairs)
+	ekey := func(u, v int32) int64 {
+		if u > v {
+			u, v = v, u
+		}
+		return int64(u)<<32 | int64(v)
+	}
+	for i := range pairs {
+		pairs[i] = [2]int32{stubs[2*i], stubs[2*i+1]}
+		count[ekey(pairs[i][0], pairs[i][1])]++
+	}
+	isBad := func(i int) bool {
+		p := pairs[i]
+		return p[0] == p[1] || count[ekey(p[0], p[1])] > 1
+	}
+	// Repair by random double-edge swaps: replace {u1,v1},{u2,v2} with
+	// {u1,v2},{u2,v1} when the result is simple.
+	budget := 200 * nPairs * (d + 1)
+	for {
+		var bad []int
+		for i := range pairs {
+			if isBad(i) {
+				bad = append(bad, i)
+			}
+		}
+		if len(bad) == 0 {
+			break
+		}
+		for _, i := range bad {
+			if !isBad(i) {
+				continue // fixed as a side effect of an earlier swap
+			}
+			for {
+				budget--
+				if budget < 0 {
+					return nil, false
+				}
+				j := rng.Intn(nPairs)
+				if j == i {
+					continue
+				}
+				u1, v1 := pairs[i][0], pairs[i][1]
+				u2, v2 := pairs[j][0], pairs[j][1]
+				if rng.Intn(2) == 1 {
+					u2, v2 = v2, u2
+				}
+				// Proposed new pairs: {u1,v2} and {u2,v1}.
+				if u1 == v2 || u2 == v1 {
+					continue
+				}
+				k1, k2 := ekey(u1, v2), ekey(u2, v1)
+				if k1 == k2 {
+					continue
+				}
+				count[ekey(u1, v1)]--
+				count[ekey(u2, v2)]--
+				if count[k1] > 0 || count[k2] > 0 {
+					count[ekey(u1, v1)]++
+					count[ekey(u2, v2)]++
+					continue
+				}
+				count[k1]++
+				count[k2]++
+				pairs[i] = [2]int32{u1, v2}
+				pairs[j] = [2]int32{u2, v1}
+				break
+			}
+		}
+	}
+	b := NewBuilder(n)
+	for _, p := range pairs {
+		b.AddEdge(int(p[0]), int(p[1]))
+	}
+	return b.MustBuild(), true
+}

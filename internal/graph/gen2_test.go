@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWheel(t *testing.T) {
+	g := Wheel(8) // hub + 7-cycle
+	if g.N() != 8 || g.M() != 14 {
+		t.Fatalf("wheel(8): n=%d m=%d", g.N(), g.M())
+	}
+	if g.Degree(0) != 7 {
+		t.Errorf("hub degree %d", g.Degree(0))
+	}
+	for v := 1; v < 8; v++ {
+		if g.Degree(v) != 3 {
+			t.Errorf("rim degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+	if d, _ := g.Diameter(); d != 2 {
+		t.Errorf("wheel diameter = %d", d)
+	}
+	if g.Girth() != 3 {
+		t.Errorf("wheel girth = %d", g.Girth())
+	}
+}
+
+func TestWheelPanicsSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for Wheel(3)")
+		}
+	}()
+	Wheel(3)
+}
+
+func TestKAryTree(t *testing.T) {
+	g := KAryTree(13, 3) // complete ternary tree: 1 + 3 + 9
+	if g.M() != 12 || !g.Connected() {
+		t.Fatalf("ternary tree malformed: m=%d", g.M())
+	}
+	if g.Degree(0) != 3 {
+		t.Errorf("root degree %d", g.Degree(0))
+	}
+	if g.Girth() != -1 {
+		t.Error("tree has a cycle")
+	}
+	// k=1 degenerates to a path.
+	p := KAryTree(6, 1)
+	if d, _ := p.Diameter(); d != 5 {
+		t.Errorf("1-ary tree should be a path; diameter %d", d)
+	}
+}
+
+func TestDeBruijn(t *testing.T) {
+	g := DeBruijn(5) // 32 nodes
+	if g.N() != 32 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("de Bruijn graph disconnected")
+	}
+	if g.MaxDegree() > 4 {
+		t.Errorf("max degree %d > 4", g.MaxDegree())
+	}
+	if d, _ := g.Diameter(); d > 5 {
+		t.Errorf("diameter %d > log2 n", d)
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := PreferentialAttachment(500, 3, rng)
+	if g.N() != 500 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("BA graph disconnected")
+	}
+	// m edges per arriving node plus the seed clique.
+	wantM := 3*2 + 3*(500-4)
+	if g.M() != wantM {
+		t.Errorf("m = %d, want %d", g.M(), wantM)
+	}
+	// Heavy tail: the maximum degree should dwarf the average (2m = 6).
+	if g.MaxDegree() < 20 {
+		t.Errorf("max degree %d suspiciously small for preferential attachment", g.MaxDegree())
+	}
+	for v := 4; v < g.N(); v++ {
+		if g.Degree(v) < 3 {
+			t.Fatalf("node %d has degree %d < m", v, g.Degree(v))
+		}
+	}
+}
+
+func TestPreferentialAttachmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for m >= n")
+		}
+	}()
+	PreferentialAttachment(3, 3, rand.New(rand.NewSource(1)))
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, d int }{{20, 3}, {50, 4}, {100, 6}, {16, 15}} {
+		g := RandomRegular(tc.n, tc.d, rng)
+		if g.N() != tc.n || g.M() != tc.n*tc.d/2 {
+			t.Fatalf("n=%d d=%d: got n=%d m=%d", tc.n, tc.d, g.N(), g.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != tc.d {
+				t.Fatalf("n=%d d=%d: degree(%d)=%d", tc.n, tc.d, v, g.Degree(v))
+			}
+		}
+	}
+}
+
+func TestRandomRegularPanicsOnOddProduct(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for odd n·d")
+		}
+	}()
+	RandomRegular(5, 3, rand.New(rand.NewSource(1)))
+}
+
+// TestRandomRegularProperty: regularity holds for arbitrary even-product
+// parameters, and the graphs are connected for d ≥ 3 w.h.p. (checked, not
+// asserted, since small exceptional cases exist).
+func TestRandomRegularProperty(t *testing.T) {
+	f := func(nRaw, dRaw uint8, seed int64) bool {
+		n := int(nRaw)%40 + 6
+		d := int(dRaw)%4 + 2
+		if n*d%2 != 0 {
+			n++
+		}
+		g := RandomRegular(n, d, rand.New(rand.NewSource(seed)))
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != d {
+				return false
+			}
+		}
+		return g.M() == n*d/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

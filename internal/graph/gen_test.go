@@ -1,0 +1,286 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.M() != 4 {
+		t.Fatalf("path(5) has %d edges", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 || g.Degree(4) != 1 {
+		t.Error("path degrees wrong")
+	}
+	if d, _ := g.Diameter(); d != 4 {
+		t.Errorf("path diameter = %d", d)
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(6)
+	if g.M() != 6 {
+		t.Fatalf("cycle(6) has %d edges", g.M())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("cycle degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+	if d, _ := g.Diameter(); d != 3 {
+		t.Errorf("cycle(6) diameter = %d", d)
+	}
+}
+
+func TestCyclePanicsBelow3(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for Cycle(2)")
+		}
+	}()
+	Cycle(2)
+}
+
+func TestStarAndComplete(t *testing.T) {
+	s := Star(7)
+	if s.M() != 6 || s.Degree(0) != 6 {
+		t.Error("star structure wrong")
+	}
+	k := Complete(6)
+	if k.M() != 15 {
+		t.Errorf("K6 has %d edges", k.M())
+	}
+	for v := 0; v < 6; v++ {
+		if k.Degree(v) != 5 {
+			t.Fatal("K6 degree wrong")
+		}
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	if g.N() != 7 || g.M() != 12 {
+		t.Fatalf("K_{3,4}: n=%d m=%d", g.N(), g.M())
+	}
+	for u := 0; u < 3; u++ {
+		if g.Degree(u) != 4 {
+			t.Fatal("left degree wrong")
+		}
+	}
+	for v := 3; v < 7; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatal("right degree wrong")
+		}
+	}
+	if g.Girth() != 4 {
+		t.Errorf("K_{3,4} girth = %d, want 4", g.Girth())
+	}
+}
+
+func TestGridAndTorus(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 || g.M() != 3*3+2*4 {
+		t.Fatalf("grid(3,4): n=%d m=%d", g.N(), g.M())
+	}
+	if g.Degree(0) != 2 { // corner
+		t.Error("grid corner degree wrong")
+	}
+	if d, _ := g.Diameter(); d != 5 {
+		t.Errorf("grid(3,4) diameter = %d", d)
+	}
+
+	tor := Torus(4, 5)
+	for v := 0; v < tor.N(); v++ {
+		if tor.Degree(v) != 4 {
+			t.Fatalf("torus degree(%d) = %d", v, tor.Degree(v))
+		}
+	}
+	if tor.M() != 2*4*5 {
+		t.Errorf("torus(4,5) m = %d", tor.M())
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 || g.M() != 32 {
+		t.Fatalf("Q4: n=%d m=%d", g.N(), g.M())
+	}
+	for v := 0; v < 16; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatal("Q4 degree wrong")
+		}
+	}
+	if d, _ := g.Diameter(); d != 4 {
+		t.Errorf("Q4 diameter = %d", d)
+	}
+	if g.Girth() != 4 {
+		t.Errorf("Q4 girth = %d", g.Girth())
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	g := Lollipop(5, 3)
+	if g.N() != 8 {
+		t.Fatalf("lollipop n=%d", g.N())
+	}
+	if g.M() != 10+3 {
+		t.Fatalf("lollipop m=%d", g.M())
+	}
+	if !g.Connected() {
+		t.Error("lollipop disconnected")
+	}
+	if g.Degree(7) != 1 {
+		t.Error("pendant end should have degree 1")
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(4, 3)
+	if !g.Connected() {
+		t.Fatal("barbell disconnected")
+	}
+	if g.N() != 2*4+2 {
+		t.Fatalf("barbell n=%d", g.N())
+	}
+	if g.M() != 2*6+3 {
+		t.Fatalf("barbell m=%d", g.M())
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	g := BinaryTree(15)
+	if g.M() != 14 || !g.Connected() {
+		t.Fatal("binary tree malformed")
+	}
+	if g.Degree(0) != 2 {
+		t.Error("root degree wrong")
+	}
+	if g.Girth() != -1 {
+		t.Error("tree should be acyclic")
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(5, 3)
+	if g.N() != 5+15 || g.M() != 4+15 {
+		t.Fatalf("caterpillar n=%d m=%d", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("caterpillar disconnected")
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 10, 100, 500} {
+		g := RandomTree(n, rng)
+		if g.N() != n {
+			t.Fatalf("n=%d: got %d nodes", n, g.N())
+		}
+		if n > 0 && g.M() != n-1 {
+			t.Fatalf("n=%d: %d edges, want %d", n, g.M(), n-1)
+		}
+		if !g.Connected() {
+			t.Fatalf("n=%d: random tree disconnected", n)
+		}
+	}
+}
+
+// TestRandomTreeProperty is a property-based check: every generated tree
+// is connected and acyclic for arbitrary sizes and seeds.
+func TestRandomTreeProperty(t *testing.T) {
+	f := func(nRaw uint8, seed int64) bool {
+		n := int(nRaw)%200 + 3
+		g := RandomTree(n, rand.New(rand.NewSource(seed)))
+		return g.M() == n-1 && g.Connected() && g.Girth() == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomConnectedProperty(t *testing.T) {
+	f := func(nRaw uint8, pRaw uint8, seed int64) bool {
+		n := int(nRaw)%100 + 2
+		p := float64(pRaw) / 512 // [0, 0.5)
+		g := RandomConnected(n, p, rand.New(rand.NewSource(seed)))
+		return g.N() == n && g.Connected() && g.M() >= n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomGNPEdgeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := RandomGNP(100, 0.1, rng)
+	// Expected edges = p·C(100,2) = 495; allow wide slack.
+	if g.M() < 300 || g.M() > 700 {
+		t.Errorf("G(100,0.1) has %d edges, expected ≈495", g.M())
+	}
+}
+
+func TestRandomBipartiteRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct{ n, d int }{{10, 3}, {50, 7}, {100, 10}, {20, 20}} {
+		g := RandomBipartiteRegular(tc.n, tc.d, rng)
+		if g.N() != 2*tc.n || g.M() != tc.n*tc.d {
+			t.Fatalf("n=%d d=%d: got %d nodes %d edges", tc.n, tc.d, g.N(), g.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != tc.d {
+				t.Fatalf("n=%d d=%d: degree(%d) = %d", tc.n, tc.d, v, g.Degree(v))
+			}
+		}
+		// Bipartite: no edge within a side.
+		for _, e := range g.Edges() {
+			if (e[0] < tc.n) == (e[1] < tc.n) {
+				t.Fatalf("edge %v within one side", e)
+			}
+		}
+	}
+}
+
+func TestProjectivePlaneIncidence(t *testing.T) {
+	for _, q := range []int{2, 3, 5, 7} {
+		g := ProjectivePlaneIncidence(q)
+		nPts := q*q + q + 1
+		if g.N() != 2*nPts {
+			t.Fatalf("q=%d: %d nodes, want %d", q, g.N(), 2*nPts)
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != q+1 {
+				t.Fatalf("q=%d: degree(%d) = %d, want %d", q, v, g.Degree(v), q+1)
+			}
+		}
+		if girth := g.Girth(); girth != 6 {
+			t.Errorf("q=%d: girth = %d, want 6", q, girth)
+		}
+	}
+}
+
+func TestProjectivePlanePanicsOnComposite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for composite order")
+		}
+	}()
+	ProjectivePlaneIncidence(4) // prime powers other than primes unsupported
+}
+
+func TestShuffleIDsIsPermutation(t *testing.T) {
+	g := ShuffleIDs(Path(50), rand.New(rand.NewSource(9)))
+	seen := make(map[NodeID]bool)
+	for v := 0; v < 50; v++ {
+		id := g.ID(v)
+		if id < 0 || id >= 50 || seen[id] {
+			t.Fatalf("bad ID %d at %d", id, v)
+		}
+		seen[id] = true
+		if g.IndexOf(id) != v {
+			t.Fatal("IndexOf inconsistent after shuffle")
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package graph
+
+import "testing"
+
+func TestSymplecticGQIncidence(t *testing.T) {
+	for _, q := range []int{2, 3, 5} {
+		g := SymplecticGQIncidence(q)
+		nPts := (q*q + 1) * (q + 1)
+		if g.N() != 2*nPts {
+			t.Fatalf("q=%d: %d nodes, want %d (points+lines)", q, g.N(), 2*nPts)
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != q+1 {
+				t.Fatalf("q=%d: degree(%d) = %d, want %d", q, v, g.Degree(v), q+1)
+			}
+		}
+		if g.M() != nPts*(q+1) {
+			t.Fatalf("q=%d: m = %d, want %d", q, g.M(), nPts*(q+1))
+		}
+		if !g.Connected() {
+			t.Errorf("q=%d: GQ incidence graph disconnected", q)
+		}
+		if girth := g.Girth(); girth != 8 {
+			t.Errorf("q=%d: girth = %d, want 8", q, girth)
+		}
+	}
+}
+
+func TestSymplecticGQPanicsOnComposite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for composite order")
+		}
+	}()
+	SymplecticGQIncidence(6)
+}
+
+func TestModInverse(t *testing.T) {
+	for _, q := range []int{3, 5, 7, 13} {
+		for a := 1; a < q; a++ {
+			inv := modInverse(a, q)
+			if a*inv%q != 1 {
+				t.Fatalf("modInverse(%d, %d) = %d", a, q, inv)
+			}
+		}
+	}
+}

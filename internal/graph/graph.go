@@ -1,0 +1,215 @@
+// Package graph provides the network substrate for the wake-up simulator:
+// an immutable undirected-graph representation, generators for the graph
+// families used throughout the paper's analysis and experiments, structural
+// metrics (BFS distances, diameter, girth, awake distance), KT0 port
+// mappings, and greedy multiplicative spanners.
+//
+// Nodes are indexed 0..N-1 internally. Separately, every node carries an
+// integer ID (the identifier visible to distributed algorithms); the
+// adversary controls the assignment of IDs to indices, which matters for
+// the KT1 lower-bound constructions where indistinguishability is argued
+// over ID permutations.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID is the application-visible identifier of a node. The paper assumes
+// IDs are drawn from a range polynomial in n; any distinct non-negative
+// values work here.
+type NodeID int64
+
+// Graph is an immutable simple undirected graph. The zero value is an empty
+// graph with no nodes; use a Builder or one of the generators to construct
+// non-trivial instances.
+type Graph struct {
+	adj [][]int32 // adjacency lists, sorted ascending by neighbor index
+	ids []NodeID  // ids[v] is the ID of node index v
+	idx map[NodeID]int
+	m   int
+}
+
+// Builder accumulates edges for a graph under construction. Duplicate edges
+// and self-loops are rejected at Build time.
+type Builder struct {
+	n     int
+	edges [][2]int32
+}
+
+// NewBuilder returns a builder for a graph on n nodes (indices 0..n-1).
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, v}.
+func (b *Builder) AddEdge(u, v int) {
+	b.edges = append(b.edges, [2]int32{int32(u), int32(v)})
+}
+
+// Build validates the accumulated edges and produces the graph. Node IDs
+// default to the identity assignment id(v) = v; use WithIDs to override.
+func (b *Builder) Build() (*Graph, error) {
+	if b.n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", b.n)
+	}
+	adj := make([][]int32, b.n)
+	for _, e := range b.edges {
+		u, v := e[0], e[1]
+		if u == v {
+			return nil, fmt.Errorf("graph: self-loop at node %d", u)
+		}
+		if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+			return nil, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+		}
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	for v := range adj {
+		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+		for i := 1; i < len(adj[v]); i++ {
+			if adj[v][i] == adj[v][i-1] {
+				return nil, fmt.Errorf("graph: duplicate edge {%d,%d}", v, adj[v][i])
+			}
+		}
+	}
+	g := &Graph{adj: adj, m: len(b.edges)}
+	g.assignIdentityIDs()
+	return g, nil
+}
+
+// MustBuild is Build, panicking on error. It is intended for generators and
+// tests where the edge set is correct by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Graph) assignIdentityIDs() {
+	n := len(g.adj)
+	g.ids = make([]NodeID, n)
+	g.idx = make(map[NodeID]int, n)
+	for v := 0; v < n; v++ {
+		g.ids[v] = NodeID(v)
+		g.idx[NodeID(v)] = v
+	}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of node index v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree over all nodes (0 for empty graphs).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Neighbors returns the sorted neighbor indices of v. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// HasEdge reports whether the undirected edge {u, v} exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	a := g.adj[u]
+	t := int32(v)
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= t })
+	return i < len(a) && a[i] == t
+}
+
+// ID returns the application-visible identifier of node index v.
+func (g *Graph) ID(v int) NodeID { return g.ids[v] }
+
+// IndexOf returns the node index carrying the given ID, or -1 if absent.
+func (g *Graph) IndexOf(id NodeID) int {
+	v, ok := g.idx[id]
+	if !ok {
+		return -1
+	}
+	return v
+}
+
+// SetIDs installs a custom ID assignment: ids[v] becomes the identifier of
+// node index v. IDs must be unique; the slice length must equal N().
+func (g *Graph) SetIDs(ids []NodeID) error {
+	if len(ids) != g.N() {
+		return fmt.Errorf("graph: got %d ids for %d nodes", len(ids), g.N())
+	}
+	idx := make(map[NodeID]int, len(ids))
+	for v, id := range ids {
+		if _, dup := idx[id]; dup {
+			return fmt.Errorf("graph: duplicate node ID %d", id)
+		}
+		idx[id] = v
+	}
+	g.ids = append([]NodeID(nil), ids...)
+	g.idx = idx
+	return nil
+}
+
+// Edges returns all undirected edges as index pairs with u < v, in
+// deterministic (sorted) order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := range g.adj {
+		for _, w := range g.adj[u] {
+			if int(w) > u {
+				out = append(out, [2]int{u, int(w)})
+			}
+		}
+	}
+	return out
+}
+
+// Subgraph returns a new graph on the same node set (and the same IDs)
+// containing exactly the given edges. Each edge must exist in g.
+func (g *Graph) Subgraph(edges [][2]int) (*Graph, error) {
+	b := NewBuilder(g.N())
+	for _, e := range edges {
+		if !g.HasEdge(e[0], e[1]) {
+			return nil, fmt.Errorf("graph: subgraph edge {%d,%d} not in parent", e[0], e[1])
+		}
+		b.AddEdge(e[0], e[1])
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if err := sub.SetIDs(g.ids); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+// Clone returns a deep copy of g. The copy can receive a different ID
+// assignment without affecting the original.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		adj: g.adj, // adjacency is immutable and safely shared
+		m:   g.m,
+		ids: append([]NodeID(nil), g.ids...),
+		idx: make(map[NodeID]int, len(g.idx)),
+	}
+	for id, v := range g.idx {
+		c.idx[id] = v
+	}
+	return c
+}
+
+// ErrDisconnected is returned by metrics that require connectivity.
+var ErrDisconnected = errors.New("graph: graph is disconnected")

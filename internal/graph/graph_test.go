@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("got n=%d m=%d, want 4, 3", g.N(), g.M())
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("Degree(1) = %d, want 2", g.Degree(1))
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge {0,1} missing in some direction")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge {0,2}")
+	}
+}
+
+func TestBuilderRejectsSelfLoop(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(1, 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected self-loop error")
+	}
+}
+
+func TestBuilderRejectsDuplicateEdge(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected duplicate-edge error")
+	}
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 3)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected range error")
+	}
+	b2 := NewBuilder(3)
+	b2.AddEdge(-1, 0)
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("expected range error for negative index")
+	}
+}
+
+func TestBuilderEmptyGraph(t *testing.T) {
+	g, err := NewBuilder(0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph has n=%d m=%d", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Error("empty graph should count as connected")
+	}
+}
+
+func TestDefaultIDsAreIdentity(t *testing.T) {
+	g := Path(5)
+	for v := 0; v < 5; v++ {
+		if g.ID(v) != NodeID(v) {
+			t.Fatalf("ID(%d) = %d", v, g.ID(v))
+		}
+		if g.IndexOf(NodeID(v)) != v {
+			t.Fatalf("IndexOf(%d) = %d", v, g.IndexOf(NodeID(v)))
+		}
+	}
+	if g.IndexOf(99) != -1 {
+		t.Error("IndexOf(nonexistent) should be -1")
+	}
+}
+
+func TestSetIDs(t *testing.T) {
+	g := Path(3)
+	if err := g.SetIDs([]NodeID{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	if g.ID(1) != 20 || g.IndexOf(30) != 2 {
+		t.Error("ID mapping not installed")
+	}
+	if err := g.SetIDs([]NodeID{1, 1, 2}); err == nil {
+		t.Error("expected duplicate-ID error")
+	}
+	if err := g.SetIDs([]NodeID{1, 2}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+func TestEdgesDeterministicOrder(t *testing.T) {
+	g := Cycle(5)
+	e1 := g.Edges()
+	e2 := g.Edges()
+	if len(e1) != 5 {
+		t.Fatalf("cycle(5) has %d edges", len(e1))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("Edges not deterministic")
+		}
+		if e1[i][0] >= e1[i][1] {
+			t.Fatalf("edge %v not normalized", e1[i])
+		}
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := Complete(4)
+	if err := g.SetIDs([]NodeID{7, 8, 9, 10}); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := g.Subgraph([][2]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 4 || sub.M() != 2 {
+		t.Fatalf("subgraph n=%d m=%d", sub.N(), sub.M())
+	}
+	if sub.ID(2) != 9 {
+		t.Error("subgraph did not inherit IDs")
+	}
+	if _, err := g.Subgraph([][2]int{{0, 0}}); err == nil {
+		t.Error("expected error for non-edge")
+	}
+}
+
+func TestSubgraphRejectsForeignEdge(t *testing.T) {
+	g := Path(4) // edges 0-1,1-2,2-3
+	if _, err := g.Subgraph([][2]int{{0, 2}}); err == nil {
+		t.Error("expected error: {0,2} is not an edge of the path")
+	}
+}
+
+func TestCloneIndependentIDs(t *testing.T) {
+	g := Path(3)
+	c := g.Clone()
+	if err := c.SetIDs([]NodeID{5, 6, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if g.ID(0) != 0 {
+		t.Error("clone mutation leaked into original")
+	}
+	if c.ID(0) != 5 {
+		t.Error("clone IDs not set")
+	}
+	if c.N() != g.N() || c.M() != g.M() {
+		t.Error("clone differs structurally")
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	if got := Star(10).MaxDegree(); got != 9 {
+		t.Errorf("star max degree = %d, want 9", got)
+	}
+	if got := NewBuilder(0).MustBuild().MaxDegree(); got != 0 {
+		t.Errorf("empty max degree = %d, want 0", got)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := Star(5).DegreeHistogram() // center degree 4, leaves degree 1
+	if h[1] != 4 || h[4] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}

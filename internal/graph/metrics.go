@@ -1,0 +1,211 @@
+package graph
+
+// BFSFrom returns the hop distances from the source set. Unreachable nodes
+// get distance -1. The source set may be empty, in which case all distances
+// are -1.
+func (g *Graph) BFSFrom(sources []int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, g.N())
+	for _, s := range sources {
+		if dist[s] == -1 {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range g.adj[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, int(w))
+			}
+		}
+	}
+	return dist
+}
+
+// BFSTree computes a breadth-first spanning tree rooted at root. It returns
+// parent[v] (the BFS parent index, -1 for the root and unreachable nodes)
+// and dist[v] (hop distance, -1 if unreachable). Ties between candidate
+// parents break toward the smaller node index, making the tree
+// deterministic for a given graph.
+func (g *Graph) BFSTree(root int) (parent, dist []int) {
+	n := g.N()
+	parent = make([]int, n)
+	dist = make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+		dist[i] = -1
+	}
+	dist[root] = 0
+	queue := make([]int, 0, n)
+	queue = append(queue, root)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range g.adj[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				parent[w] = v
+				queue = append(queue, int(w))
+			}
+		}
+	}
+	return parent, dist
+}
+
+// Eccentricity returns the maximum hop distance from v to any node, or -1
+// if some node is unreachable from v.
+func (g *Graph) Eccentricity(v int) int {
+	dist := g.BFSFrom([]int{v})
+	ecc := 0
+	for _, d := range dist {
+		if d == -1 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact diameter by running a BFS from every node.
+// It returns ErrDisconnected for disconnected graphs. O(n·m) time.
+func (g *Graph) Diameter() (int, error) {
+	if g.N() == 0 {
+		return 0, nil
+	}
+	diam := 0
+	for v := 0; v < g.N(); v++ {
+		ecc := g.Eccentricity(v)
+		if ecc == -1 {
+			return 0, ErrDisconnected
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam, nil
+}
+
+// AwakeDistance returns ρ_awk(G, awake) = max_u dist(awake, u), the paper's
+// fine-grained time measure (§1.2). It returns -1 if awake is empty or some
+// node is unreachable from the awake set.
+func (g *Graph) AwakeDistance(awake []int) int {
+	if len(awake) == 0 {
+		return -1
+	}
+	dist := g.BFSFrom(awake)
+	rho := 0
+	for _, d := range dist {
+		if d == -1 {
+			return -1
+		}
+		if d > rho {
+			rho = d
+		}
+	}
+	return rho
+}
+
+// Components returns the connected components as slices of node indices,
+// each sorted ascending, ordered by their smallest member.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.N())
+	var comps [][]int
+	for s := 0; s < g.N(); s++ {
+		if seen[s] {
+			continue
+		}
+		comp := []int{s}
+		seen[s] = true
+		for head := 0; head < len(comp); head++ {
+			v := comp[head]
+			for _, w := range g.adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					comp = append(comp, int(w))
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	for _, c := range comps {
+		sortInts(c)
+	}
+	return comps
+}
+
+// Connected reports whether the graph is connected (true for n ≤ 1).
+func (g *Graph) Connected() bool {
+	if g.N() <= 1 {
+		return true
+	}
+	dist := g.BFSFrom([]int{0})
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Girth returns the length of a shortest cycle, or -1 if the graph is
+// acyclic. It runs a BFS from every node and detects the first cross/back
+// edge, giving the exact girth in O(n·m) time.
+func (g *Graph) Girth() int {
+	best := -1
+	n := g.N()
+	dist := make([]int, n)
+	par := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue = queue[:0]
+		dist[s] = 0
+		par[s] = -1
+		queue = append(queue, int32(s))
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			if best != -1 && dist[v] >= (best+1)/2 {
+				break // no shorter cycle through s can be found deeper
+			}
+			for _, w := range g.adj[v] {
+				if dist[w] == -1 {
+					dist[w] = dist[v] + 1
+					par[w] = v
+					queue = append(queue, w)
+				} else if w != par[v] {
+					// Cycle through s of length dist[v]+dist[w]+1.
+					if c := dist[v] + dist[w] + 1; best == -1 || c < best {
+						best = c
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d.
+func (g *Graph) DegreeHistogram() []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.N(); v++ {
+		counts[g.Degree(v)]++
+	}
+	return counts
+}
+
+func sortInts(a []int) {
+	// insertion sort: component slices are typically already nearly sorted
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PortMap realizes the KT0 port-numbering substrate (§1.1): each node v has
+// ports 1..deg(v), and port_v is a bijection from port numbers to
+// neighbors. The adversary controls the mapping; nodes have no a-priori
+// knowledge of it. Ports here are 1-based to match the paper.
+type PortMap struct {
+	g     *Graph
+	ports [][]int32 // ports[v][p-1] = neighbor index reached via port p
+	inv   [][]int32 // inv[v][i] = port at v leading to g.adj[v][i]
+}
+
+// IdentityPorts returns the port map where port p at v leads to the p-th
+// smallest neighbor of v.
+func IdentityPorts(g *Graph) *PortMap {
+	pm := &PortMap{g: g}
+	pm.ports = make([][]int32, g.N())
+	pm.inv = make([][]int32, g.N())
+	for v := 0; v < g.N(); v++ {
+		adj := g.Neighbors(v)
+		pm.ports[v] = append([]int32(nil), adj...)
+		inv := make([]int32, len(adj))
+		for i := range adj {
+			inv[i] = int32(i + 1)
+		}
+		pm.inv[v] = inv
+	}
+	return pm
+}
+
+// RandomPorts returns a port map where every node's port bijection is an
+// independent uniformly random permutation — the input distribution of the
+// Theorem 1 lower bound.
+func RandomPorts(g *Graph, rng *rand.Rand) *PortMap {
+	pm := IdentityPorts(g)
+	for v := 0; v < g.N(); v++ {
+		d := len(pm.ports[v])
+		rng.Shuffle(d, func(i, j int) {
+			pm.ports[v][i], pm.ports[v][j] = pm.ports[v][j], pm.ports[v][i]
+		})
+		pm.rebuildInverse(v)
+	}
+	return pm
+}
+
+func (pm *PortMap) rebuildInverse(v int) {
+	adj := pm.g.Neighbors(v)
+	pos := make(map[int32]int32, len(adj))
+	for i, w := range adj {
+		pos[w] = int32(i)
+	}
+	inv := make([]int32, len(adj))
+	for p, w := range pm.ports[v] {
+		inv[pos[w]] = int32(p + 1)
+	}
+	pm.inv[v] = inv
+}
+
+// Graph returns the underlying graph.
+func (pm *PortMap) Graph() *Graph { return pm.g }
+
+// Neighbor returns the node index reached from v via port p (1-based).
+func (pm *PortMap) Neighbor(v, p int) int {
+	if p < 1 || p > len(pm.ports[v]) {
+		panic(fmt.Sprintf("graph: node %d has no port %d (degree %d)", v, p, len(pm.ports[v])))
+	}
+	return int(pm.ports[v][p-1])
+}
+
+// PortTo returns port_v^{-1}(u): the port at v whose edge leads to neighbor
+// u. It panics if u is not a neighbor of v.
+func (pm *PortMap) PortTo(v, u int) int {
+	adj := pm.g.Neighbors(v)
+	t := int32(u)
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if adj[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(adj) || adj[lo] != t {
+		panic(fmt.Sprintf("graph: %d is not a neighbor of %d", u, v))
+	}
+	return int(pm.inv[v][lo])
+}
+
+// SwapPorts exchanges the two given ports at node v, preserving bijectivity.
+// Lower-bound experiments use this to construct indistinguishable
+// configurations.
+func (pm *PortMap) SwapPorts(v, p1, p2 int) {
+	pm.ports[v][p1-1], pm.ports[v][p2-1] = pm.ports[v][p2-1], pm.ports[v][p1-1]
+	pm.rebuildInverse(v)
+}
+
+// Validate checks that every node's port assignment is a bijection onto its
+// neighbor set and that the inverse table is consistent.
+func (pm *PortMap) Validate() error {
+	for v := 0; v < pm.g.N(); v++ {
+		adj := pm.g.Neighbors(v)
+		if len(pm.ports[v]) != len(adj) {
+			return fmt.Errorf("graph: node %d has %d ports for degree %d", v, len(pm.ports[v]), len(adj))
+		}
+		seen := make(map[int32]bool, len(adj))
+		for p0, w := range pm.ports[v] {
+			if !pm.g.HasEdge(v, int(w)) {
+				return fmt.Errorf("graph: node %d port %d leads to non-neighbor %d", v, p0+1, w)
+			}
+			if seen[w] {
+				return fmt.Errorf("graph: node %d maps two ports to neighbor %d", v, w)
+			}
+			seen[w] = true
+		}
+		for i, w := range adj {
+			p := int(pm.inv[v][i])
+			if pm.Neighbor(v, p) != int(w) {
+				return fmt.Errorf("graph: node %d inverse port table inconsistent at neighbor %d", v, w)
+			}
+		}
+	}
+	return nil
+}

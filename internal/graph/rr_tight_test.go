@@ -1,0 +1,25 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomRegularTightCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for n := 4; n <= 12; n++ {
+		for d := 2; d < n; d++ {
+			if n*d%2 != 0 {
+				continue
+			}
+			for trial := 0; trial < 30; trial++ {
+				g := RandomRegular(n, d, rng)
+				for v := 0; v < n; v++ {
+					if g.Degree(v) != d {
+						t.Fatalf("n=%d d=%d trial=%d: degree(%d)=%d", n, d, trial, v, g.Degree(v))
+					}
+				}
+			}
+		}
+	}
+}

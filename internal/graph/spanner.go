@@ -1,0 +1,113 @@
+package graph
+
+import "fmt"
+
+// GreedySpanner builds a multiplicative (2k−1)-spanner of g using the
+// classic greedy algorithm of Althöfer, Das, Dobkin, Joseph and Soares:
+// scan the edges in a fixed order and keep edge {u,v} iff the current
+// spanner distance between u and v exceeds 2k−1. The result has at most
+// n^{1+1/k} + n edges (girth argument) and stretch at most 2k−1.
+//
+// Theorem 6 of the paper encodes the incident edges of such a spanner as
+// advice; this is the substrate for core.SpannerScheme.
+func GreedySpanner(g *Graph, k int) (*Graph, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("graph: spanner parameter k must be >= 1, got %d", k)
+	}
+	stretch := 2*k - 1
+	n := g.N()
+	adj := make([][]int32, n) // spanner adjacency under construction
+	var kept [][2]int
+
+	// Bounded-depth BFS over the partial spanner: is dist(u,v) <= stretch?
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var touched []int32
+	within := func(u, v int) bool {
+		found := false
+		dist[u] = 0
+		touched = append(touched[:0], int32(u))
+		queue := touched
+		for head := 0; head < len(queue) && !found; head++ {
+			x := queue[head]
+			if dist[x] >= stretch {
+				break
+			}
+			for _, y := range adj[x] {
+				if dist[y] != -1 {
+					continue
+				}
+				if int(y) == v {
+					found = true
+					break
+				}
+				dist[y] = dist[x] + 1
+				queue = append(queue, y)
+			}
+		}
+		for _, x := range queue {
+			dist[x] = -1
+		}
+		touched = queue[:0]
+		return found
+	}
+
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		if !within(u, v) {
+			adj[u] = append(adj[u], int32(v))
+			adj[v] = append(adj[v], int32(u))
+			kept = append(kept, e)
+		}
+	}
+	return g.Subgraph(kept)
+}
+
+// VerifyStretch checks that the spanner s (a subgraph of g on the same node
+// set) has multiplicative stretch at most t: for every edge {u,v} of g,
+// dist_s(u,v) ≤ t. For connected g this implies dist_s(u,v) ≤ t·dist_g(u,v)
+// for all pairs.
+func VerifyStretch(g, s *Graph, t int) error {
+	if g.N() != s.N() {
+		return fmt.Errorf("graph: node count mismatch %d vs %d", g.N(), s.N())
+	}
+	for _, e := range g.Edges() {
+		d := distWithin(s, e[0], e[1], t)
+		if d == -1 {
+			return fmt.Errorf("graph: edge {%d,%d} stretched beyond %d in spanner", e[0], e[1], t)
+		}
+	}
+	return nil
+}
+
+// distWithin returns dist_s(u,v) if it is ≤ limit, else -1.
+func distWithin(s *Graph, u, v, limit int) int {
+	if u == v {
+		return 0
+	}
+	dist := make([]int, s.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[u] = 0
+	queue := []int32{int32(u)}
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		if dist[x] >= limit {
+			return -1
+		}
+		for _, y := range s.Neighbors(int(x)) {
+			if dist[y] != -1 {
+				continue
+			}
+			if int(y) == v {
+				return dist[x] + 1
+			}
+			dist[y] = dist[x] + 1
+			queue = append(queue, y)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,131 @@
+// Package infotheory implements the small information-theoretic toolkit
+// the paper's Theorem 1 proof relies on (Appendix A): entropy, conditional
+// entropy, and mutual information of empirical joint distributions, plus
+// support-size accounting. The lower-bound experiments use it to measure
+// the mutual information between a center's crucial port X_i and the
+// advice string Y — the quantity the proof shows must be ≈ β bits for any
+// message-efficient scheme — directly on sampled instances.
+package infotheory
+
+import (
+	"math"
+)
+
+// Joint is an empirical joint distribution over two discrete variables,
+// accumulated by counting observations.
+type Joint struct {
+	counts map[[2]int]int
+	xs     map[int]int
+	ys     map[int]int
+	total  int
+}
+
+// NewJoint returns an empty joint distribution.
+func NewJoint() *Joint {
+	return &Joint{
+		counts: make(map[[2]int]int),
+		xs:     make(map[int]int),
+		ys:     make(map[int]int),
+	}
+}
+
+// Observe records one (x, y) sample.
+func (j *Joint) Observe(x, y int) {
+	j.counts[[2]int{x, y}]++
+	j.xs[x]++
+	j.ys[y]++
+	j.total++
+}
+
+// N returns the number of observations.
+func (j *Joint) N() int { return j.total }
+
+// SupportX returns the number of distinct x values observed.
+func (j *Joint) SupportX() int { return len(j.xs) }
+
+// SupportY returns the number of distinct y values observed.
+func (j *Joint) SupportY() int { return len(j.ys) }
+
+// entropy computes −Σ p log2 p over counts summing to total.
+func entropy[K comparable](counts map[K]int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	ft := float64(total)
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / ft
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// HX returns the empirical entropy H[X] in bits.
+func (j *Joint) HX() float64 { return entropy(j.xs, j.total) }
+
+// HY returns the empirical entropy H[Y] in bits.
+func (j *Joint) HY() float64 { return entropy(j.ys, j.total) }
+
+// HXY returns the joint entropy H[X, Y] in bits.
+func (j *Joint) HXY() float64 { return entropy(j.counts, j.total) }
+
+// HXgivenY returns the conditional entropy H[X | Y] = H[X,Y] − H[Y].
+func (j *Joint) HXgivenY() float64 { return j.HXY() - j.HY() }
+
+// MutualInformation returns I[X : Y] = H[X] + H[Y] − H[X,Y] in bits,
+// clamped at 0 against floating-point noise.
+func (j *Joint) MutualInformation() float64 {
+	i := j.HX() + j.HY() - j.HXY()
+	if i < 1e-12 {
+		return 0
+	}
+	return i
+}
+
+// EntropyOf computes the entropy (bits) of an explicit distribution given
+// as non-negative weights; the weights are normalized internally.
+func EntropyOf(weights []float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		p := w / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// UniformEntropy returns log2 n, the entropy of the uniform distribution
+// on n outcomes — e.g. H[X_i] = log2(n+1) for the crucial port of a
+// Theorem 1 center before any advice.
+func UniformEntropy(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return math.Log2(float64(n))
+}
+
+// Fano lower-bounds the error probability of guessing X from any
+// observation given the conditional entropy h = H[X | observation] and
+// support size n: Pe ≥ (h − 1) / log2 n. Negative results clamp to 0.
+func Fano(h float64, n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	pe := (h - 1) / math.Log2(float64(n))
+	if pe < 0 {
+		return 0
+	}
+	return pe
+}

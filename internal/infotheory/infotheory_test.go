@@ -1,0 +1,145 @@
+package infotheory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func TestEntropyUniform(t *testing.T) {
+	j := NewJoint()
+	for x := 0; x < 8; x++ {
+		j.Observe(x, 0)
+	}
+	if h := j.HX(); math.Abs(h-3) > eps {
+		t.Errorf("H[uniform 8] = %v, want 3", h)
+	}
+	if h := j.HY(); h != 0 {
+		t.Errorf("H[constant] = %v, want 0", h)
+	}
+}
+
+func TestEntropyBiasedCoin(t *testing.T) {
+	j := NewJoint()
+	for i := 0; i < 3; i++ {
+		j.Observe(1, 0)
+	}
+	j.Observe(0, 0)
+	want := -(0.75*math.Log2(0.75) + 0.25*math.Log2(0.25))
+	if h := j.HX(); math.Abs(h-want) > eps {
+		t.Errorf("H[Bern(3/4)] = %v, want %v", h, want)
+	}
+}
+
+func TestMutualInformationIndependent(t *testing.T) {
+	j := NewJoint()
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			j.Observe(x, y)
+		}
+	}
+	if mi := j.MutualInformation(); math.Abs(mi) > eps {
+		t.Errorf("I[indep] = %v, want 0", mi)
+	}
+	if h := j.HXgivenY(); math.Abs(h-2) > eps {
+		t.Errorf("H[X|Y] = %v, want 2", h)
+	}
+}
+
+func TestMutualInformationDeterministic(t *testing.T) {
+	j := NewJoint()
+	for x := 0; x < 8; x++ {
+		j.Observe(x, x) // Y = X
+	}
+	if mi := j.MutualInformation(); math.Abs(mi-3) > eps {
+		t.Errorf("I[X:X] = %v, want 3", mi)
+	}
+	if h := j.HXgivenY(); math.Abs(h) > eps {
+		t.Errorf("H[X|X] = %v, want 0", h)
+	}
+}
+
+func TestMutualInformationPartial(t *testing.T) {
+	// Y reveals the top bit of a uniform 2-bit X: I = 1 bit.
+	j := NewJoint()
+	for x := 0; x < 4; x++ {
+		j.Observe(x, x>>1)
+	}
+	if mi := j.MutualInformation(); math.Abs(mi-1) > eps {
+		t.Errorf("I = %v, want 1", mi)
+	}
+	if h := j.HXgivenY(); math.Abs(h-1) > eps {
+		t.Errorf("H[X|Y] = %v, want 1", h)
+	}
+}
+
+// TestInformationIdentitiesProperty checks the chain rule and bounds on
+// random joint distributions: 0 ≤ I ≤ min(H[X], H[Y]) and
+// H[X,Y] = H[Y] + H[X|Y].
+func TestInformationIdentitiesProperty(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%200 + 10
+		xr := int(kRaw)%6 + 2
+		yr := int(kRaw/6)%6 + 2
+		j := NewJoint()
+		for i := 0; i < n; i++ {
+			j.Observe(rng.Intn(xr), rng.Intn(yr))
+		}
+		mi := j.MutualInformation()
+		if mi < -eps || mi > j.HX()+eps || mi > j.HY()+eps {
+			return false
+		}
+		return math.Abs(j.HXY()-(j.HY()+j.HXgivenY())) < eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntropyOf(t *testing.T) {
+	if h := EntropyOf([]float64{1, 1, 1, 1}); math.Abs(h-2) > eps {
+		t.Errorf("EntropyOf uniform4 = %v", h)
+	}
+	if h := EntropyOf([]float64{5, 0, 0}); h != 0 {
+		t.Errorf("EntropyOf point mass = %v", h)
+	}
+	if h := EntropyOf(nil); h != 0 {
+		t.Errorf("EntropyOf empty = %v", h)
+	}
+}
+
+func TestUniformEntropy(t *testing.T) {
+	if h := UniformEntropy(1024); math.Abs(h-10) > eps {
+		t.Errorf("UniformEntropy(1024) = %v", h)
+	}
+	if UniformEntropy(0) != 0 {
+		t.Error("UniformEntropy(0) should be 0")
+	}
+}
+
+func TestFano(t *testing.T) {
+	// Full uncertainty over 16 outcomes: Pe ≥ 3/4.
+	if pe := Fano(4, 16); math.Abs(pe-0.75) > eps {
+		t.Errorf("Fano = %v, want 0.75", pe)
+	}
+	if pe := Fano(0.5, 16); pe != 0 {
+		t.Errorf("Fano should clamp at 0, got %v", pe)
+	}
+	if pe := Fano(3, 1); pe != 0 {
+		t.Errorf("Fano with n=1 should be 0, got %v", pe)
+	}
+}
+
+func TestSupports(t *testing.T) {
+	j := NewJoint()
+	j.Observe(1, 10)
+	j.Observe(2, 10)
+	j.Observe(1, 20)
+	if j.SupportX() != 2 || j.SupportY() != 2 || j.N() != 3 {
+		t.Errorf("supports = %d, %d, n = %d", j.SupportX(), j.SupportY(), j.N())
+	}
+}

@@ -1,0 +1,106 @@
+package lowerbound
+
+import (
+	"riseandshine/internal/graph"
+	"riseandshine/internal/sim"
+)
+
+// BlindProber is the no-advice control for the Theorem 1 experiment: each
+// center probes a fixed number of its ports chosen at random, without any
+// oracle help. Probing t of deg ports finds the crucial neighbor with
+// probability exactly t/deg, so the measured fraction of woken partners
+// quantifies the failure probability that only advice (Theorem 1) or full
+// probing (flooding) can eliminate under KT0.
+type BlindProber struct {
+	// Probes is the number of ports each adversary-woken node probes.
+	Probes int
+}
+
+var _ sim.Algorithm = BlindProber{}
+
+// Name implements sim.Algorithm.
+func (BlindProber) Name() string { return "blind-prober" }
+
+// NewMachine implements sim.Algorithm.
+func (a BlindProber) NewMachine(info sim.NodeInfo) sim.Program {
+	return &blindMachine{info: info, probes: a.Probes}
+}
+
+type blindMachine struct {
+	info   sim.NodeInfo
+	probes int
+}
+
+func (m *blindMachine) OnWake(ctx sim.Context) {
+	if !ctx.AdversarialWake() || m.info.Degree == 0 {
+		return
+	}
+	t := m.probes
+	if t > m.info.Degree {
+		t = m.info.Degree
+	}
+	perm := ctx.Rand().Perm(m.info.Degree)
+	for _, p := range perm[:t] {
+		ctx.Send(p+1, WakeProbe{})
+	}
+}
+
+func (m *blindMachine) OnMessage(sim.Context, sim.Delivery) {}
+
+// NIHResponder wraps a wake-up algorithm with the Lemma 1 reduction: every
+// degree-one node (exactly the W partners in the lower-bound families)
+// sends a special response message upon waking, informing its center that
+// the needle was found. This costs at most n extra messages and one extra
+// time unit, matching the lemma's accounting; the wrapped algorithm's
+// messages are otherwise untouched (responses are delivered to the
+// underlying machine as ordinary messages, which the paper's model
+// permits since they are distinct from all messages of 𝒜).
+type NIHResponder struct {
+	// Inner is the wake-up algorithm 𝒜 being reduced.
+	Inner sim.Algorithm
+}
+
+var _ sim.Algorithm = NIHResponder{}
+
+// Name implements sim.Algorithm.
+func (a NIHResponder) Name() string { return a.Inner.Name() + "+nih" }
+
+// NewMachine implements sim.Algorithm.
+func (a NIHResponder) NewMachine(info sim.NodeInfo) sim.Program {
+	return &nihMachine{inner: a.Inner.NewMachine(info), info: info}
+}
+
+// nihResponse is the special response of Lemma 1, distinct from all
+// messages produced by the wrapped algorithm.
+type nihResponse struct {
+	From graph.NodeID
+}
+
+// Bits implements sim.Message.
+func (nihResponse) Bits() int { return 4 + defaultIDBits }
+
+// defaultIDBits mirrors core's accounting width for a node ID.
+const defaultIDBits = 32
+
+type nihMachine struct {
+	inner     sim.Program
+	info      sim.NodeInfo
+	responded bool
+}
+
+func (m *nihMachine) OnWake(ctx sim.Context) {
+	m.inner.OnWake(ctx)
+	if m.info.Degree == 1 && !m.responded && !ctx.AdversarialWake() {
+		// Degree-one node woken by a message: acknowledge over its only
+		// edge so the center learns it solved its NIH instance.
+		m.responded = true
+		ctx.Send(1, nihResponse{From: m.info.ID})
+	}
+}
+
+func (m *nihMachine) OnMessage(ctx sim.Context, d sim.Delivery) {
+	if _, ok := d.Msg.(nihResponse); ok {
+		return // consumed by the reduction, invisible to the inner machine
+	}
+	m.inner.OnMessage(ctx, d)
+}

@@ -1,0 +1,38 @@
+package lowerbound
+
+import (
+	"riseandshine/internal/sim"
+)
+
+// CenterBroadcast is the time-optimal strategy on the Theorem 2 family
+// 𝒢_k: every awake node broadcasts over all incident edges immediately.
+// It terminates in one time unit and sends Θ(n·n^{1/k}) = Θ(n^{1+1/k})
+// messages when the centers are the awake set — exactly the cost that
+// Theorem 2 proves unavoidable for any (k+1)-time-bounded algorithm. Its
+// measured message count therefore traces the lower-bound curve, while
+// unrestricted-time algorithms (core.DFSRank) undercut it with Õ(n)
+// messages at Θ(n) time.
+//
+// Unlike core.Flood, only adversary-woken nodes broadcast; nodes woken by
+// a message stay silent, keeping the execution within one time unit.
+type CenterBroadcast struct{}
+
+var _ sim.Algorithm = CenterBroadcast{}
+
+// Name implements sim.Algorithm.
+func (CenterBroadcast) Name() string { return "center-broadcast" }
+
+// NewMachine implements sim.Algorithm.
+func (CenterBroadcast) NewMachine(sim.NodeInfo) sim.Program {
+	return &centerBroadcastMachine{}
+}
+
+type centerBroadcastMachine struct{}
+
+func (m *centerBroadcastMachine) OnWake(ctx sim.Context) {
+	if ctx.AdversarialWake() {
+		ctx.Broadcast(probeMsg{})
+	}
+}
+
+func (m *centerBroadcastMachine) OnMessage(sim.Context, sim.Delivery) {}

@@ -1,0 +1,67 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"riseandshine/internal/advice"
+	"riseandshine/internal/infotheory"
+)
+
+// InfoReport quantifies, over sampled instances of 𝒢, the information a
+// center's advice carries about its crucial port — the quantities at the
+// heart of the Theorem 1 proof: H[X_i] = log₂(deg), I[X_i : Y_i] ≈ β, and
+// H[X_i | Y_i] ≈ log₂(deg) − β. Fano's inequality then lower-bounds the
+// probability that the center fails to guess the crucial port without
+// probing, which is what forces the n²/2^β message complexity.
+type InfoReport struct {
+	Beta       int
+	Samples    int
+	HX         float64 // empirical entropy of the crucial port
+	MutualInfo float64 // empirical I[X : advice]
+	HXGivenY   float64 // empirical H[X | advice]
+	FanoErrLow float64 // Fano lower bound on guessing error
+	UniformHX  float64 // log2(deg): the ideal prior entropy
+}
+
+// MeasureAdviceInformation samples `samples` independent port assignments
+// of 𝒢 with n centers, runs the β-bit prefix oracle on each, and measures
+// the empirical information quantities at center 0.
+func MeasureAdviceInformation(n, beta, samples int, seed int64) (*InfoReport, error) {
+	if samples < 1 {
+		return nil, fmt.Errorf("lowerbound: need at least one sample")
+	}
+	joint := infotheory.NewJoint()
+	deg := n + 1
+	for s := 0; s < samples; s++ {
+		in, err := BuildG(n, seed+int64(s))
+		if err != nil {
+			return nil, err
+		}
+		oracle := AdviceProberOracle{Inst: in, Beta: beta}
+		bits, lengths, err := oracle.Advise(in.G, in.Ports)
+		if err != nil {
+			return nil, err
+		}
+		v := in.V[0]
+		x := in.Ports.PortTo(v, in.Mate[0]) // the crucial port X
+		// Decode the advice to its integer prefix value Y.
+		r := advice.NewReader(bits[v], lengths[v])
+		_ = r.ReadBits(2) // role
+		b := int(r.ReadBits(6))
+		y := int(r.ReadBits(b))
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		joint.Observe(x, y)
+	}
+	rep := &InfoReport{
+		Beta:       beta,
+		Samples:    samples,
+		HX:         joint.HX(),
+		MutualInfo: joint.MutualInformation(),
+		HXGivenY:   joint.HXgivenY(),
+		UniformHX:  infotheory.UniformEntropy(deg),
+	}
+	rep.FanoErrLow = infotheory.Fano(rep.HXGivenY, deg)
+	return rep, nil
+}

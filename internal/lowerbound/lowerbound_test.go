@@ -1,0 +1,374 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"riseandshine/internal/core"
+	"riseandshine/internal/sim"
+)
+
+func TestBuildGInvariants(t *testing.T) {
+	in, err := BuildG(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if in.G.N() != 96 {
+		t.Fatalf("n = %d, want 96", in.G.N())
+	}
+	// Centers: degree n+1; U nodes: degree n; W: degree 1.
+	for _, v := range in.V {
+		if in.G.Degree(v) != 33 {
+			t.Fatalf("center degree %d", in.G.Degree(v))
+		}
+	}
+	for _, u := range in.U {
+		if in.G.Degree(u) != 32 {
+			t.Fatalf("U degree %d", in.G.Degree(u))
+		}
+	}
+	for _, w := range in.W {
+		if in.G.Degree(w) != 1 {
+			t.Fatalf("W degree %d", in.G.Degree(w))
+		}
+	}
+	// m = n² (bipartite) + n (matching).
+	if in.G.M() != 32*32+32 {
+		t.Fatalf("m = %d", in.G.M())
+	}
+}
+
+func TestBuildGRejectsBadN(t *testing.T) {
+	if _, err := BuildG(0, 1); err == nil {
+		t.Error("expected error for n=0")
+	}
+}
+
+func TestBuildGPortRandomizationVariesWithSeed(t *testing.T) {
+	a, err := BuildG(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildG(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The crucial ports should differ for at least one center.
+	differs := false
+	for i, v := range a.V {
+		if a.Ports.PortTo(v, a.Mate[i]) != b.Ports.PortTo(v, b.Mate[i]) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("two seeds produced identical crucial ports")
+	}
+}
+
+func TestBuildGkProjectiveInvariants(t *testing.T) {
+	for _, q := range []int{3, 7, 13} {
+		in, err := BuildGkProjective(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Verify(); err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		nCenters := q*q + q + 1
+		if len(in.V) != nCenters {
+			t.Fatalf("q=%d: %d centers, want %d", q, len(in.V), nCenters)
+		}
+		if in.CoreDegree != q+1 {
+			t.Fatalf("q=%d: core degree %d", q, in.CoreDegree)
+		}
+		if !in.GirthAtLeast(6) {
+			t.Errorf("q=%d: girth below 6", q)
+		}
+		// Fact 1: Ω(n^{1+1/k}) edges — here exactly n(q+1) core + n matching.
+		if in.G.M() != nCenters*(q+1)+nCenters {
+			t.Errorf("q=%d: m = %d", q, in.G.M())
+		}
+	}
+}
+
+func TestBuildGkProjectiveIDDistribution(t *testing.T) {
+	in, err := BuildGkProjective(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(in.V)
+	// Centers carry fixed IDs 2n..3n-1; U∪W carry a permutation of 0..2n-1.
+	for j, v := range in.V {
+		if int(in.G.ID(v)) != 2*n+j {
+			t.Fatalf("center %d has ID %d", j, in.G.ID(v))
+		}
+	}
+	seen := make(map[int]bool)
+	for _, u := range append(append([]int(nil), in.U...), in.W...) {
+		id := int(in.G.ID(u))
+		if id < 0 || id >= 2*n || seen[id] {
+			t.Fatalf("bad U∪W ID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestBuildGkGQInvariants(t *testing.T) {
+	for _, q := range []int{2, 3, 5} {
+		in, err := BuildGkGQ(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Verify(); err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		nCenters := (q*q + 1) * (q + 1)
+		if len(in.V) != nCenters {
+			t.Fatalf("q=%d: %d centers, want %d", q, len(in.V), nCenters)
+		}
+		if !in.GirthAtLeast(8) {
+			t.Errorf("q=%d: girth below 8 — the k=3 requirement of Theorem 2", q)
+		}
+		// d = q+1 = n^{1/3}·(1+o(1)) → EffectiveK ≈ 3.
+		if k := in.EffectiveK(); k < 2.4 || k > 4.2 {
+			t.Errorf("q=%d: effective k = %.2f, want ≈ 3", q, k)
+		}
+	}
+}
+
+func TestGkGQSwapIndistinguishability(t *testing.T) {
+	in, err := BuildGkGQ(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SwapIndistinguishability(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllDigestsEqual {
+		t.Error("swap distinguishable on the girth-8 family")
+	}
+}
+
+func TestBuildGkRandomInvariants(t *testing.T) {
+	in, err := BuildGkRandom(64, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if in.CoreDegree != 4 {
+		t.Fatalf("core degree %d", in.CoreDegree)
+	}
+	if _, err := BuildGkRandom(4, 9, 1); err == nil {
+		t.Error("expected error for d > n")
+	}
+}
+
+func TestEffectiveK(t *testing.T) {
+	in, err := BuildGkRandom(64, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d = 4 = 64^{1/3} → k = 3.
+	if k := in.EffectiveK(); math.Abs(k-3) > 1e-9 {
+		t.Errorf("EffectiveK = %v, want 3", k)
+	}
+}
+
+func TestAdviceProberSolvesNIHAtEveryBeta(t *testing.T) {
+	in, err := BuildG(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}
+	prevMsgs := math.Inf(1)
+	for beta := 0; beta <= 6; beta += 2 {
+		rep, err := Run(in, model, AdviceProber{},
+			AdviceProberOracle{Inst: in, Beta: beta}, sim.UnitDelay{}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Solved {
+			t.Fatalf("beta=%d: %d/%d needles", beta, rep.NeedlesFound, len(in.W))
+		}
+		if !rep.Result.AllAwake {
+			t.Fatalf("beta=%d: wake-up incomplete", beta)
+		}
+		// More advice ⇒ fewer messages, tracking n²/2^β within 4×.
+		msgs := float64(rep.Result.Messages)
+		if msgs > prevMsgs {
+			t.Errorf("beta=%d: messages increased (%v -> %v)", beta, prevMsgs, msgs)
+		}
+		prevMsgs = msgs
+		modelMsgs := 64.0 * 64.0 / math.Exp2(float64(beta))
+		if msgs > 4*modelMsgs+3*64 {
+			t.Errorf("beta=%d: %v messages vs model %v", beta, msgs, modelMsgs)
+		}
+	}
+}
+
+func TestAdviceProberAdviceLengthIsBeta(t *testing.T) {
+	in, err := BuildG(32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, beta := range []int{0, 3, 5} {
+		_, lengths, err := (AdviceProberOracle{Inst: in, Beta: beta}).Advise(in.G, in.Ports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range in.V {
+			if lengths[v] != 2+6+beta {
+				t.Fatalf("beta=%d: center advice %d bits, want %d", beta, lengths[v], 2+6+beta)
+			}
+		}
+		for _, u := range in.U {
+			if lengths[u] != 2 {
+				t.Fatalf("U advice %d bits", lengths[u])
+			}
+		}
+	}
+}
+
+// TestAdviceProberAverageAdvice: Theorem 1 bounds the AVERAGE advice per
+// node. The prober charges 2 role bits everywhere plus (6+β) bits at each
+// of the n centers (out of 3n nodes), so the average is (12+β)/3 bits —
+// linear in β with slope 1/3, matching the theorem's Ω(β) accounting.
+func TestAdviceProberAverageAdvice(t *testing.T) {
+	in, err := BuildG(48, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, beta := range []int{0, 3, 6} {
+		_, lengths, err := (AdviceProberOracle{Inst: in, Beta: beta}).Advise(in.G, in.Ports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int
+		for _, l := range lengths {
+			total += l
+		}
+		avg := float64(total) / float64(in.G.N())
+		want := (12.0 + float64(beta)) / 3.0
+		if avg != want {
+			t.Errorf("beta=%d: average advice %.3f bits, want %.3f", beta, avg, want)
+		}
+	}
+}
+
+func TestAdviceProberPortsUsedMatchSml(t *testing.T) {
+	// The Theorem 1 proof's Sml event: with β prefix bits, centers use at
+	// most ≈ deg/2^β + 1 ports.
+	in, err := BuildG(128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta := 4
+	rep, err := Run(in, sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+		AdviceProber{}, AdviceProberOracle{Inst: in, Beta: beta}, sim.UnitDelay{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exclude the designated center (V[0]), which deliberately broadcasts
+	// to wake U. Full port-index width is 8 bits (deg−1 = 128): interval
+	// size 2^{8−4} = 16.
+	maxPorts := 0
+	for _, v := range in.V[1:] {
+		if rep.Result.PortsUsed[v] > maxPorts {
+			maxPorts = rep.Result.PortsUsed[v]
+		}
+	}
+	if maxPorts > 18 {
+		t.Errorf("non-designated centers used up to %d ports; expected ≈ 16", maxPorts)
+	}
+}
+
+func TestOracleRejectsForeignGraph(t *testing.T) {
+	a, err := BuildG(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildG(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, errA := (AdviceProberOracle{Inst: a, Beta: 1}).Advise(b.G, b.Ports); errA == nil {
+		t.Error("expected instance-mismatch error")
+	}
+	if _, _, errB := (AdviceProberOracle{Inst: a, Beta: -1}).Advise(a.G, a.Ports); errB == nil {
+		t.Error("expected negative-beta error")
+	}
+}
+
+func TestCenterBroadcastMatchesLowerBoundCurve(t *testing.T) {
+	in, err := BuildGkProjective(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(in, sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local},
+		CenterBroadcast{}, nil, sim.UnitDelay{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Solved || !rep.Result.AllAwake {
+		t.Fatal("broadcast must solve the instance")
+	}
+	// Exactly one broadcast per center: n·(d+1) messages, 1 time unit.
+	want := len(in.V) * (in.CoreDegree + 1)
+	if rep.Result.Messages != want {
+		t.Errorf("messages = %d, want %d", rep.Result.Messages, want)
+	}
+	if rep.Result.Span != 1 {
+		t.Errorf("span = %v, want 1", rep.Result.Span)
+	}
+}
+
+func TestDFSRankUndercutsBroadcastOnGk(t *testing.T) {
+	in, err := BuildGkProjective(13, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local}
+	bc, err := Run(in, model, CenterBroadcast{}, nil, sim.UnitDelay{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfs, err := Run(in, model, core.DFSRank{}, nil, sim.UnitDelay{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dfs.Solved {
+		t.Fatal("dfs did not solve")
+	}
+	if dfs.Result.Messages >= bc.Result.Messages {
+		t.Errorf("dfs %d messages should undercut broadcast %d", dfs.Result.Messages, bc.Result.Messages)
+	}
+	if dfs.Result.Span <= bc.Result.Span {
+		t.Errorf("dfs span %v should exceed broadcast span %v — that is the tradeoff", dfs.Result.Span, bc.Result.Span)
+	}
+}
+
+func TestEvaluatePartialSolutions(t *testing.T) {
+	in, err := BuildG(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &sim.Result{WakeAt: make([]sim.Time, in.G.N())}
+	for i := range res.WakeAt {
+		res.WakeAt[i] = -1
+	}
+	res.WakeAt[in.W[0]] = 3 // only one needle found
+	rep := Evaluate(in, res)
+	if rep.Solved || rep.NeedlesFound != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	if MaxCenterPortsUsed(in, res) != -1 {
+		t.Error("ports not tracked should yield -1")
+	}
+}

@@ -1,0 +1,135 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"riseandshine/internal/advice"
+	"riseandshine/internal/graph"
+	"riseandshine/internal/sim"
+)
+
+// AdviceProberOracle is the advising scheme that demonstrates the
+// tightness of Theorem 1: with β bits of advice per center it achieves a
+// message complexity of Θ(n²/2^β) on the family 𝒢, matching the theorem's
+// lower bound of n²/2^{β+4}·log₂n up to constants. The oracle reveals to
+// each center the top β bits of the port index leading to its crucial
+// neighbor w_i; the center then probes only the remaining candidate
+// interval of ≈ deg/2^β ports.
+//
+// One designated center additionally broadcasts over all its ports so
+// that every U node wakes too (the wake-up problem demands waking all
+// nodes, not just solving NIH); this adds O(n) messages.
+type AdviceProberOracle struct {
+	// Inst is the lower-bound instance the oracle advises for.
+	Inst *Instance
+	// Beta is the number of crucial-port prefix bits revealed per center.
+	Beta int
+}
+
+var _ advice.Oracle = AdviceProberOracle{}
+
+// Role tags carried in the first two advice bits.
+const (
+	roleBulk       = 0 // U or W: no action on wake
+	roleCenter     = 1
+	roleDesignated = 2 // center that also broadcasts to wake U
+)
+
+// Name implements advice.Oracle.
+func (o AdviceProberOracle) Name() string { return fmt.Sprintf("advice-prober(beta=%d)", o.Beta) }
+
+// Advise implements advice.Oracle.
+func (o AdviceProberOracle) Advise(g *graph.Graph, pm *graph.PortMap) ([][]byte, []int, error) {
+	if o.Inst == nil || o.Inst.G != g {
+		return nil, nil, fmt.Errorf("lowerbound: oracle must advise for its own instance")
+	}
+	if o.Beta < 0 {
+		return nil, nil, fmt.Errorf("lowerbound: beta must be >= 0, got %d", o.Beta)
+	}
+	bits := make([][]byte, g.N())
+	lengths := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		var wr advice.Writer
+		wr.WriteBits(uint64(roleBulk), 2)
+		bits[v] = wr.Bytes()
+		lengths[v] = wr.Len()
+	}
+	for idx, v := range o.Inst.V {
+		deg := g.Degree(v)
+		full := advice.BitsFor(deg - 1) // width of a 0-based port index
+		beta := o.Beta
+		if beta > full {
+			beta = full
+		}
+		crucial := pm.PortTo(v, o.Inst.Mate[idx]) // 1-based
+		prefix := uint64(crucial-1) >> uint(full-beta)
+
+		var wr advice.Writer
+		role := roleCenter
+		if idx == 0 {
+			role = roleDesignated
+		}
+		wr.WriteBits(uint64(role), 2)
+		wr.WriteBits(uint64(beta), 6) // beta ≤ 63: self-delimiting header
+		wr.WriteBits(prefix, beta)
+		bits[v] = wr.Bytes()
+		lengths[v] = wr.Len()
+	}
+	return bits, lengths, nil
+}
+
+// probeMsg is the probe/wake-up message of the prober scheme.
+type probeMsg struct{}
+
+// Bits implements sim.Message.
+func (probeMsg) Bits() int { return 4 }
+
+// AdviceProber is the distributed algorithm of the prober scheme. It runs
+// in the asynchronous KT0 CONGEST model on lower-bound instances.
+type AdviceProber struct{}
+
+var _ sim.Algorithm = AdviceProber{}
+
+// Name implements sim.Algorithm.
+func (AdviceProber) Name() string { return "advice-prober" }
+
+// NewMachine implements sim.Algorithm.
+func (AdviceProber) NewMachine(info sim.NodeInfo) sim.Program {
+	return &proberMachine{info: info}
+}
+
+type proberMachine struct {
+	info sim.NodeInfo
+}
+
+func (m *proberMachine) OnWake(ctx sim.Context) {
+	r := advice.NewReader(m.info.Advice, m.info.AdviceBits)
+	role := int(r.ReadBits(2))
+	if role == roleBulk {
+		return
+	}
+	if role == roleDesignated {
+		// Wake every neighbor (in particular all of U) outright.
+		ctx.Broadcast(probeMsg{})
+		return
+	}
+	// Center: probe the candidate interval containing the crucial port.
+	deg := m.info.Degree
+	full := advice.BitsFor(deg - 1)
+	beta := int(r.ReadBits(6))
+	prefix := r.ReadBits(beta)
+	if err := r.Err(); err != nil {
+		panic(fmt.Sprintf("lowerbound: node %d: malformed prober advice: %v", m.info.ID, err))
+	}
+	shift := uint(full - beta)
+	lo := int(prefix << shift)       // 0-based candidate start
+	hi := int((prefix + 1) << shift) // exclusive
+	if hi > deg {
+		hi = deg
+	}
+	for p := lo; p < hi; p++ {
+		ctx.Send(p+1, probeMsg{})
+	}
+}
+
+func (m *proberMachine) OnMessage(sim.Context, sim.Delivery) {}

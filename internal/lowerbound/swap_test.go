@@ -1,0 +1,97 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSwapIndistinguishability reproduces the Figure 3 / Lemma 5–6
+// experiment: swapping the IDs of the crucial partner w★ and a silent
+// neighbor u leaves every node's transcript bit-identical under a
+// deterministic time-restricted strategy.
+func TestSwapIndistinguishability(t *testing.T) {
+	for _, q := range []int{5, 7, 13} {
+		in, err := BuildGkProjective(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := SwapIndistinguishability(in)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		if rep.PartnerID == rep.SwappedID {
+			t.Fatalf("q=%d: swap did not change the partner's ID", q)
+		}
+		if !rep.DigestsEqual {
+			t.Errorf("q=%d: v★ distinguished the swapped configuration — Lemma 5 machinery broken", q)
+		}
+		if !rep.AllDigestsEqual {
+			t.Errorf("q=%d: some node distinguished the configurations", q)
+		}
+	}
+}
+
+// TestSwapOnCompleteFamilyG: the same experiment on the Theorem 1 family
+// (KT0-motivated, but the ID-swap logic applies identically under KT1).
+func TestSwapOnFamilyG(t *testing.T) {
+	in, err := BuildG(32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SwapIndistinguishability(in)
+	if err != nil {
+		t.Skipf("no valid swap pair in this instance: %v", err)
+	}
+	if !rep.DigestsEqual {
+		t.Error("v★ distinguished the swap on 𝒢")
+	}
+}
+
+// TestMeasureAdviceInformation: the empirical mutual information between
+// the crucial port and the advice is ≈ β bits, and the residual entropy
+// ≈ log2(deg) − β — the Theorem 1 accounting.
+func TestMeasureAdviceInformation(t *testing.T) {
+	// deg = n+1 = 64 is a power of two, so the β-bit prefix of the crucial
+	// port index is exactly uniform and I[X:Y] = β without rounding slack.
+	const n = 63
+	const samples = 4000
+	for _, beta := range []int{0, 2, 4} {
+		rep, err := MeasureAdviceInformation(n, beta, samples, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rep.MutualInfo-float64(beta)) > 0.35 {
+			t.Errorf("beta=%d: I[X:Y] = %.2f, want ≈ %d", beta, rep.MutualInfo, beta)
+		}
+		wantResidual := rep.HX - float64(beta)
+		if math.Abs(rep.HXGivenY-wantResidual) > 0.35 {
+			t.Errorf("beta=%d: H[X|Y] = %.2f, want ≈ %.2f", beta, rep.HXGivenY, wantResidual)
+		}
+		// With plenty of residual entropy, Fano forces a guessing error.
+		if beta == 0 && rep.FanoErrLow < 0.5 {
+			t.Errorf("beta=0: Fano bound %.2f too weak", rep.FanoErrLow)
+		}
+	}
+}
+
+func TestMeasureAdviceInformationValidation(t *testing.T) {
+	if _, err := MeasureAdviceInformation(8, 1, 0, 1); err == nil {
+		t.Error("expected error for zero samples")
+	}
+}
+
+// TestMutualInformationMonotoneInBeta: more advice bits reveal more
+// information.
+func TestMutualInformationMonotoneInBeta(t *testing.T) {
+	prev := -1.0
+	for _, beta := range []int{0, 1, 2, 3} {
+		rep, err := MeasureAdviceInformation(31, beta, 1500, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MutualInfo < prev-0.1 {
+			t.Errorf("beta=%d: I decreased (%v -> %v)", beta, prev, rep.MutualInfo)
+		}
+		prev = rep.MutualInfo
+	}
+}

@@ -1,0 +1,62 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"riseandshine/internal/advice"
+	"riseandshine/internal/core"
+	"riseandshine/internal/graph"
+	"riseandshine/internal/sim"
+)
+
+// TestConcurrentMatrix runs every asynchronous algorithm under real
+// concurrency on a shared workload: correctness must not depend on the
+// deterministic scheduler of package sim.
+func TestConcurrentMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.RandomConnected(150, 0.05, rng)
+	pm := graph.RandomPorts(g, rng)
+
+	cases := []struct {
+		name   string
+		model  sim.Model
+		alg    sim.Algorithm
+		oracle advice.Oracle
+	}{
+		{"flood", sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, core.Flood{}, nil},
+		{"echo-flood", sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, core.EchoFlood{}, nil},
+		{"dfs-rank", sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local}, core.DFSRank{}, nil},
+		{"leader-elect", sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local}, core.LeaderElect{}, nil},
+		{"fip06", sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, core.FIP06{}, core.FIP06Oracle{}},
+		{"threshold", sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, core.Threshold{}, core.ThresholdOracle{}},
+		{"cen", sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, core.CEN{}, core.CENOracle{}},
+		{"spanner", sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, core.SpannerScheme{}, core.SpannerOracle{K: 2}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{
+				Graph:    g,
+				Ports:    pm,
+				Model:    tc.model,
+				Schedule: sim.RandomWake{Count: 4, Seed: 3},
+				Seed:     5,
+			}
+			if tc.oracle != nil {
+				adv, bits, err := tc.oracle.Advise(g, pm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Advice, cfg.AdviceBits = adv, bits
+			}
+			res, err := Run(cfg, tc.alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.AllAwake {
+				t.Fatalf("only %d/%d awake under concurrency", res.AwakeCount, g.N())
+			}
+		})
+	}
+}

@@ -1,0 +1,268 @@
+// Package runtime executes wake-up algorithms with real concurrency: one
+// goroutine per node and lock-protected unbounded inboxes as communication
+// channels. Message interleaving is determined by the Go scheduler, so
+// executions are genuinely asynchronous and non-deterministic — the
+// package exists to validate that algorithm correctness does not depend on
+// the deterministic event ordering of the sim package, and to demonstrate
+// the library running as an actual concurrent system.
+//
+// Timing is not simulated: deliveries are immediate and adversarial wake
+// times are interpreted as ordering hints only (wake-ups are issued in
+// time order). Complexity measurements belong to package sim.
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"riseandshine/internal/graph"
+	"riseandshine/internal/sim"
+)
+
+// Config describes one concurrent execution.
+type Config struct {
+	Graph *graph.Graph
+	Ports *graph.PortMap
+	Model sim.Model
+	// Schedule provides the adversarial wake-ups; wake times order the
+	// initial wake injections.
+	Schedule   sim.WakeScheduler
+	Seed       int64
+	Advice     [][]byte
+	AdviceBits []int
+}
+
+// Result reports the outcome of a concurrent run.
+type Result struct {
+	AllAwake   bool
+	AwakeCount int
+	Messages   int64
+}
+
+type delivery struct {
+	d sim.Delivery
+}
+
+type node struct {
+	eng   *engine
+	index int
+	info  sim.NodeInfo
+	rng   *rand.Rand
+
+	mu     sync.Mutex
+	queue  []delivery
+	signal chan struct{}
+
+	awake    atomic.Bool
+	advWoken bool // written before the machine starts, read only by its goroutine
+	machine  sim.Program
+}
+
+type engine struct {
+	cfg      Config
+	g        *graph.Graph
+	pm       *graph.PortMap
+	nodes    []*node
+	pending  sync.WaitGroup // outstanding wake-ups and messages
+	done     chan struct{}
+	messages atomic.Int64
+}
+
+// nodeCtx implements sim.Context for the concurrent engine. It is only
+// used from the owning node's goroutine.
+type nodeCtx struct {
+	n *node
+}
+
+var _ sim.Context = nodeCtx{}
+
+func (c nodeCtx) Info() sim.NodeInfo    { return c.n.info }
+func (c nodeCtx) Now() sim.Time         { return 0 } // wall-clock time is not modelled
+func (c nodeCtx) Round() int            { return -1 }
+func (c nodeCtx) Rand() *rand.Rand      { return c.n.rng }
+func (c nodeCtx) AdversarialWake() bool { return c.n.advWoken }
+
+func (c nodeCtx) Send(port int, m sim.Message) {
+	e := c.n.eng
+	from := c.n.index
+	to := e.pm.Neighbor(from, port)
+	fromID := graph.NodeID(-1)
+	if e.cfg.Model.Knowledge == sim.KT1 {
+		fromID = e.g.ID(from)
+	}
+	e.messages.Add(1)
+	e.deliver(to, sim.Delivery{
+		Msg:        m,
+		Port:       e.pm.PortTo(to, from),
+		SenderPort: port,
+		From:       fromID,
+	})
+}
+
+func (c nodeCtx) SendToID(id graph.NodeID, m sim.Message) {
+	e := c.n.eng
+	if e.cfg.Model.Knowledge != sim.KT1 {
+		panic("runtime: SendToID requires KT1")
+	}
+	to := e.g.IndexOf(id)
+	if to == -1 || !e.g.HasEdge(c.n.index, to) {
+		panic(fmt.Sprintf("runtime: node %d has no neighbor with ID %d", e.g.ID(c.n.index), id))
+	}
+	c.Send(e.pm.PortTo(c.n.index, to), m)
+}
+
+func (c nodeCtx) Broadcast(m sim.Message) {
+	for p := 1; p <= c.n.info.Degree; p++ {
+		c.Send(p, m)
+	}
+}
+
+// deliver enqueues a message for the target node and signals its goroutine.
+func (e *engine) deliver(to int, d sim.Delivery) {
+	e.pending.Add(1)
+	t := e.nodes[to]
+	t.mu.Lock()
+	t.queue = append(t.queue, delivery{d: d})
+	t.mu.Unlock()
+	select {
+	case t.signal <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the per-node goroutine: drain the inbox, waking on the first
+// delivery, until the engine shuts down.
+func (n *node) loop(alg sim.Algorithm, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-n.signal:
+		case <-n.eng.done:
+			return
+		}
+		for {
+			n.mu.Lock()
+			if len(n.queue) == 0 {
+				n.mu.Unlock()
+				break
+			}
+			d := n.queue[0]
+			n.queue = n.queue[1:]
+			n.mu.Unlock()
+			n.process(alg, d)
+			n.eng.pending.Done()
+		}
+	}
+}
+
+// wakeSentinel marks an adversarial wake-up injection.
+type wakeSentinel struct{}
+
+func (wakeSentinel) Bits() int { return 0 }
+
+func (n *node) process(alg sim.Algorithm, d delivery) {
+	_, isWake := d.d.Msg.(wakeSentinel)
+	if !n.awake.Load() {
+		n.advWoken = isWake
+		n.machine = alg.NewMachine(n.info)
+		n.awake.Store(true)
+		n.machine.OnWake(nodeCtx{n: n})
+	}
+	if !isWake {
+		n.machine.OnMessage(nodeCtx{n: n}, d.d)
+	}
+}
+
+// Run executes alg concurrently and blocks until the network quiesces (no
+// messages in flight and all inboxes empty).
+func Run(cfg Config, alg sim.Algorithm) (*Result, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("runtime: Config.Graph is required")
+	}
+	if cfg.Schedule == nil {
+		return nil, fmt.Errorf("runtime: Config.Schedule is required")
+	}
+	g := cfg.Graph
+	pm := cfg.Ports
+	if pm == nil {
+		pm = graph.IdentityPorts(g)
+	}
+	e := &engine{
+		cfg:   cfg,
+		g:     g,
+		pm:    pm,
+		nodes: make([]*node, g.N()),
+		done:  make(chan struct{}),
+	}
+	for v := 0; v < g.N(); v++ {
+		e.nodes[v] = &node{
+			eng:    e,
+			index:  v,
+			info:   infoFor(g, pm, cfg, v),
+			rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(v)*0x9e3779b9)),
+			signal: make(chan struct{}, 1),
+		}
+	}
+
+	var workers sync.WaitGroup
+	workers.Add(g.N())
+	for _, n := range e.nodes {
+		go n.loop(alg, &workers)
+	}
+
+	wakeups := cfg.Schedule.Wakeups(g)
+	sort.SliceStable(wakeups, func(i, j int) bool { return wakeups[i].At < wakeups[j].At })
+	for _, w := range wakeups {
+		e.deliver(w.Node, sim.Delivery{Msg: wakeSentinel{}})
+	}
+
+	e.pending.Wait()
+	close(e.done)
+	workers.Wait()
+
+	res := &Result{Messages: e.messages.Load()}
+	for _, n := range e.nodes {
+		if n.awake.Load() {
+			res.AwakeCount++
+		}
+	}
+	res.AllAwake = res.AwakeCount == g.N()
+	return res, nil
+}
+
+func infoFor(g *graph.Graph, pm *graph.PortMap, cfg Config, v int) sim.NodeInfo {
+	info := sim.NodeInfo{
+		ID:     g.ID(v),
+		N:      g.N(),
+		LogN:   bitsFor(g.N()),
+		Degree: g.Degree(v),
+	}
+	if cfg.Model.Knowledge == sim.KT1 {
+		ids := make([]graph.NodeID, info.Degree)
+		for p := 1; p <= info.Degree; p++ {
+			ids[p-1] = g.ID(pm.Neighbor(v, p))
+		}
+		info.NeighborIDs = ids
+	}
+	if cfg.Advice != nil {
+		info.Advice = cfg.Advice[v]
+		if cfg.AdviceBits != nil {
+			info.AdviceBits = cfg.AdviceBits[v]
+		}
+	}
+	return info
+}
+
+func bitsFor(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}

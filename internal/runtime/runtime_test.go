@@ -1,0 +1,141 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"riseandshine/internal/core"
+	"riseandshine/internal/graph"
+	"riseandshine/internal/sim"
+)
+
+// TestConcurrentFlood: the goroutine engine wakes everyone with flooding
+// under true concurrency.
+func TestConcurrentFlood(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomConnected(200, 0.04, rng)
+	res, err := Run(Config{
+		Graph:    g,
+		Model:    sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+		Schedule: sim.WakeSingle(0),
+	}, core.Flood{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllAwake {
+		t.Fatalf("only %d/%d awake", res.AwakeCount, g.N())
+	}
+	if res.Messages != int64(2*g.M()) {
+		t.Errorf("messages = %d, want %d", res.Messages, 2*g.M())
+	}
+}
+
+// TestConcurrentDFSRank: the Theorem 3 algorithm is robust to real
+// scheduler nondeterminism (arbitrary asynchrony).
+func TestConcurrentDFSRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomConnected(120, 0.06, rng)
+	for seed := int64(0); seed < 4; seed++ {
+		res, err := Run(Config{
+			Graph:    g,
+			Model:    sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local},
+			Schedule: sim.RandomWake{Count: 5, Seed: seed},
+			Seed:     seed,
+		}, core.DFSRank{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllAwake {
+			t.Fatalf("seed %d: only %d/%d awake", seed, res.AwakeCount, g.N())
+		}
+	}
+}
+
+// TestConcurrentCEN: the child-encoding scheme with advice under real
+// concurrency, sharing the oracle with the deterministic engine.
+func TestConcurrentCEN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.RandomConnected(150, 0.05, rng)
+	pm := graph.RandomPorts(g, rng)
+	adv, bits, err := (core.CENOracle{}).Advise(g, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Graph:      g,
+		Ports:      pm,
+		Model:      sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+		Schedule:   sim.RandomWake{Count: 3, Seed: 5},
+		Advice:     adv,
+		AdviceBits: bits,
+	}, core.CEN{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllAwake {
+		t.Fatalf("only %d/%d awake", res.AwakeCount, g.N())
+	}
+}
+
+// TestConcurrentMatchesDeterministicWakeSet: both engines must agree on
+// WHO wakes (the awake set is schedule- and topology-determined for
+// flooding), though not on timing.
+func TestConcurrentMatchesDeterministicAwakeCount(t *testing.T) {
+	b := graph.NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	// component {3,4}, isolated {5}, {6}
+	b.AddEdge(3, 4)
+	g := b.MustBuild()
+
+	det, err := sim.RunAsync(sim.Config{
+		Graph:     g,
+		Model:     sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+		Adversary: sim.Adversary{Schedule: sim.WakeSet{Nodes: []int{0, 3}}},
+	}, core.Flood{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := Run(Config{
+		Graph:    g,
+		Model:    sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+		Schedule: sim.WakeSet{Nodes: []int{0, 3}},
+	}, core.Flood{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.AwakeCount != conc.AwakeCount {
+		t.Errorf("awake counts differ: %d vs %d", det.AwakeCount, conc.AwakeCount)
+	}
+	if conc.AwakeCount != 5 {
+		t.Errorf("awake = %d, want 5", conc.AwakeCount)
+	}
+}
+
+func TestRuntimeValidation(t *testing.T) {
+	if _, err := Run(Config{}, core.Flood{}); err == nil {
+		t.Error("expected missing-graph error")
+	}
+	if _, err := Run(Config{Graph: graph.Path(2)}, core.Flood{}); err == nil {
+		t.Error("expected missing-schedule error")
+	}
+}
+
+// TestConcurrentRepeatedRuns: repeated concurrent executions all converge
+// (regression guard for termination-detection races).
+func TestConcurrentRepeatedRuns(t *testing.T) {
+	g := graph.Grid(8, 8)
+	for i := 0; i < 20; i++ {
+		res, err := Run(Config{
+			Graph:    g,
+			Model:    sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+			Schedule: sim.WakeSingle(i % g.N()),
+		}, core.Flood{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllAwake {
+			t.Fatalf("iteration %d: not all awake", i)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"riseandshine/internal/graph"
+)
+
+// Wakeup is one adversarial wake-up instruction: node (by index) is woken
+// at the given time. In the synchronous engine, At is truncated to a round
+// number.
+type Wakeup struct {
+	Node int
+	At   Time
+}
+
+// WakeScheduler decides which nodes the adversary wakes and when. The
+// schedule is fixed before the execution starts (obliviousness).
+type WakeScheduler interface {
+	// Wakeups returns the wake schedule for the given graph. It must be
+	// non-empty and reference valid node indices.
+	Wakeups(g *graph.Graph) []Wakeup
+}
+
+// Delayer assigns message delays. It must return values in (0, 1] (time is
+// normalized to the maximum delay τ = 1) and may depend only on the static
+// arguments given — never on node state — keeping the adversary oblivious.
+type Delayer interface {
+	// Delay returns the delay of the k-th message (k = 0, 1, …) sent on the
+	// directed edge from→to, which was sent at sendTime.
+	Delay(from, to, k int, sendTime Time) float64
+}
+
+// Adversary couples a wake schedule with a delay strategy.
+type Adversary struct {
+	Schedule WakeScheduler
+	Delays   Delayer
+}
+
+// --- Wake schedules ---
+
+// WakeSet wakes a fixed set of node indices, all at the given time.
+type WakeSet struct {
+	Nodes []int
+	At    Time
+}
+
+// Wakeups implements WakeScheduler.
+func (w WakeSet) Wakeups(*graph.Graph) []Wakeup {
+	out := make([]Wakeup, len(w.Nodes))
+	for i, v := range w.Nodes {
+		out[i] = Wakeup{Node: v, At: w.At}
+	}
+	return out
+}
+
+// WakeSingle wakes only the given node at time 0. The wake-up problem from
+// a single source is the hardest case for the awake distance.
+func WakeSingle(v int) WakeScheduler { return WakeSet{Nodes: []int{v}} }
+
+// WakeAll wakes every node at time 0 (ρ_awk = 0).
+type WakeAll struct{}
+
+// Wakeups implements WakeScheduler.
+func (WakeAll) Wakeups(g *graph.Graph) []Wakeup {
+	out := make([]Wakeup, g.N())
+	for v := range out {
+		out[v] = Wakeup{Node: v}
+	}
+	return out
+}
+
+// RandomWake wakes Count distinct random nodes at independent random times
+// in [0, Window]. A Seed of zero still yields a deterministic schedule.
+type RandomWake struct {
+	Count  int
+	Window Time
+	Seed   int64
+}
+
+// Wakeups implements WakeScheduler.
+func (w RandomWake) Wakeups(g *graph.Graph) []Wakeup {
+	n := g.N()
+	count := w.Count
+	if count < 1 {
+		count = 1
+	}
+	if count > n {
+		count = n
+	}
+	rng := rand.New(rand.NewSource(deriveSeed(w.Seed, streamWake, uint64(n))))
+	perm := rng.Perm(n)
+	out := make([]Wakeup, count)
+	for i := 0; i < count; i++ {
+		at := Time(0)
+		if w.Window > 0 {
+			at = Time(rng.Float64()) * w.Window
+		}
+		out[i] = Wakeup{Node: perm[i], At: at}
+	}
+	return out
+}
+
+// StaggeredWake implements the adversarial strategy analyzed in Theorem 3's
+// proof: wake disjoint batches of nodes at increasing times, attempting to
+// discard the currently-dominant DFS token just before it finishes. Batch i
+// has size Sizes[i] (random distinct nodes) and is woken at time i·Gap.
+type StaggeredWake struct {
+	Sizes []int
+	Gap   Time
+	Seed  int64
+}
+
+// Wakeups implements WakeScheduler.
+func (w StaggeredWake) Wakeups(g *graph.Graph) []Wakeup {
+	n := g.N()
+	rng := rand.New(rand.NewSource(deriveSeed(w.Seed, streamWake, uint64(n)+1)))
+	perm := rng.Perm(n)
+	var out []Wakeup
+	next := 0
+	for i, size := range w.Sizes {
+		for j := 0; j < size && next < n; j++ {
+			out = append(out, Wakeup{Node: perm[next], At: Time(i) * w.Gap})
+			next++
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, Wakeup{Node: perm[0]})
+	}
+	return out
+}
+
+// DominatingWake greedily selects a dominating set and wakes it at time 0,
+// producing executions with ρ_awk ≤ 1 — the regime of Theorem 4's analysis
+// and Theorem 2's lower bound.
+type DominatingWake struct{}
+
+// Wakeups implements WakeScheduler.
+func (DominatingWake) Wakeups(g *graph.Graph) []Wakeup {
+	n := g.N()
+	dominated := make([]bool, n)
+	var out []Wakeup
+	// Greedy max-coverage by descending degree order, deterministic.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// simple counting sort by degree descending
+	maxDeg := g.MaxDegree()
+	buckets := make([][]int, maxDeg+1)
+	for v := 0; v < n; v++ {
+		d := g.Degree(v)
+		buckets[d] = append(buckets[d], v)
+	}
+	k := 0
+	for d := maxDeg; d >= 0; d-- {
+		for _, v := range buckets[d] {
+			order[k] = v
+			k++
+		}
+	}
+	for _, v := range order {
+		if dominated[v] {
+			continue
+		}
+		covers := false
+		if !dominated[v] {
+			covers = true
+		}
+		for _, w := range g.Neighbors(v) {
+			if !dominated[w] {
+				covers = true
+			}
+		}
+		if !covers {
+			continue
+		}
+		out = append(out, Wakeup{Node: v})
+		dominated[v] = true
+		for _, w := range g.Neighbors(v) {
+			dominated[w] = true
+		}
+	}
+	return out
+}
+
+// --- Delay strategies ---
+
+// UnitDelay delivers every message after exactly one time unit; the
+// asynchronous execution then mirrors a synchronous one.
+type UnitDelay struct{}
+
+// Delay implements Delayer.
+func (UnitDelay) Delay(int, int, int, Time) float64 { return 1 }
+
+// RandomDelay assigns each message an independent deterministic
+// pseudo-random delay in (Min, 1], keyed by (edge, message index).
+type RandomDelay struct {
+	Seed int64
+	// Min is the lower bound of the delay range; defaults to 0 (exclusive).
+	Min float64
+}
+
+// Delay implements Delayer.
+func (d RandomDelay) Delay(from, to, k int, _ Time) float64 {
+	u := hashUnit(d.Seed, from, to, k)
+	return d.Min + u*(1-d.Min)
+}
+
+// BiasedDelay slows down a designated set of directed edges to the maximum
+// delay while keeping all others fast, modelling an adversary that starves
+// chosen links. Edges not listed get delay Fast.
+type BiasedDelay struct {
+	Slow map[[2]int]bool
+	Fast float64
+}
+
+// Delay implements Delayer.
+func (d BiasedDelay) Delay(from, to, _ int, _ Time) float64 {
+	if d.Slow[[2]int{from, to}] {
+		return 1
+	}
+	fast := d.Fast
+	if fast <= 0 || fast > 1 {
+		fast = 0.01
+	}
+	return fast
+}
+
+// Validate checks the schedule against the graph, returning a descriptive
+// error for out-of-range nodes, negative times, or an empty schedule.
+func validateSchedule(g *graph.Graph, wakeups []Wakeup) error {
+	if len(wakeups) == 0 {
+		return fmt.Errorf("sim: adversary wake schedule is empty")
+	}
+	for _, w := range wakeups {
+		if w.Node < 0 || w.Node >= g.N() {
+			return fmt.Errorf("sim: wakeup node %d out of range [0,%d)", w.Node, g.N())
+		}
+		if w.At < 0 {
+			return fmt.Errorf("sim: wakeup time %v is negative", w.At)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"riseandshine/internal/graph"
+)
+
+func TestWakeSetSchedule(t *testing.T) {
+	g := graph.Path(5)
+	w := WakeSet{Nodes: []int{1, 3}, At: 2.5}.Wakeups(g)
+	if len(w) != 2 || w[0].Node != 1 || w[1].Node != 3 || w[0].At != 2.5 {
+		t.Errorf("wakeups = %v", w)
+	}
+}
+
+func TestWakeAllSchedule(t *testing.T) {
+	g := graph.Path(4)
+	w := WakeAll{}.Wakeups(g)
+	if len(w) != 4 {
+		t.Fatalf("got %d wakeups", len(w))
+	}
+	for i, wu := range w {
+		if wu.Node != i || wu.At != 0 {
+			t.Errorf("wakeup %d = %+v", i, wu)
+		}
+	}
+}
+
+func TestRandomWakeDistinctNodes(t *testing.T) {
+	g := graph.Complete(30)
+	w := RandomWake{Count: 10, Window: 5, Seed: 3}.Wakeups(g)
+	if len(w) != 10 {
+		t.Fatalf("got %d wakeups", len(w))
+	}
+	seen := make(map[int]bool)
+	for _, wu := range w {
+		if seen[wu.Node] {
+			t.Fatal("duplicate node in random wake set")
+		}
+		seen[wu.Node] = true
+		if wu.At < 0 || wu.At > 5 {
+			t.Fatalf("wake time %v outside window", wu.At)
+		}
+	}
+}
+
+func TestRandomWakeClampsCount(t *testing.T) {
+	g := graph.Path(3)
+	if got := len((RandomWake{Count: 99}).Wakeups(g)); got != 3 {
+		t.Errorf("count clamped to %d, want 3", got)
+	}
+	if got := len((RandomWake{Count: 0}).Wakeups(g)); got != 1 {
+		t.Errorf("zero count should yield 1 wakeup, got %d", got)
+	}
+}
+
+func TestStaggeredWakeBatches(t *testing.T) {
+	g := graph.Complete(20)
+	w := StaggeredWake{Sizes: []int{1, 2, 3}, Gap: 10, Seed: 5}.Wakeups(g)
+	if len(w) != 6 {
+		t.Fatalf("got %d wakeups", len(w))
+	}
+	wantTimes := []Time{0, 10, 10, 20, 20, 20}
+	for i, wu := range w {
+		if wu.At != wantTimes[i] {
+			t.Errorf("wakeup %d at %v, want %v", i, wu.At, wantTimes[i])
+		}
+	}
+}
+
+func TestDominatingWakeIsDominating(t *testing.T) {
+	f := func(nRaw uint8, seed int64) bool {
+		n := int(nRaw)%80 + 2
+		g := graph.RandomConnected(n, 0.05, newTestRand(seed))
+		wakeups := DominatingWake{}.Wakeups(g)
+		awake := make([]int, 0, len(wakeups))
+		for _, w := range wakeups {
+			awake = append(awake, w.Node)
+		}
+		rho := g.AwakeDistance(awake)
+		return rho >= 0 && rho <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnitDelay(t *testing.T) {
+	if d := (UnitDelay{}).Delay(0, 1, 0, 0); d != 1 {
+		t.Errorf("unit delay = %v", d)
+	}
+}
+
+// TestRandomDelayRangeProperty: delays always fall in (Min, 1] and are
+// deterministic in their arguments.
+func TestRandomDelayRangeProperty(t *testing.T) {
+	f := func(seed int64, from, to uint16, k uint8) bool {
+		d := RandomDelay{Seed: seed}
+		v := d.Delay(int(from), int(to), int(k), 0)
+		v2 := d.Delay(int(from), int(to), int(k), 7)
+		return v > 0 && v <= 1 && v == v2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomDelayMin(t *testing.T) {
+	d := RandomDelay{Seed: 1, Min: 0.9}
+	for k := 0; k < 100; k++ {
+		v := d.Delay(3, 4, k, 0)
+		if v <= 0.9 || v > 1 {
+			t.Fatalf("delay %v outside (0.9, 1]", v)
+		}
+	}
+}
+
+func TestBiasedDelay(t *testing.T) {
+	d := BiasedDelay{Slow: map[[2]int]bool{{0, 1}: true}, Fast: 0.1}
+	if v := d.Delay(0, 1, 0, 0); v != 1 {
+		t.Errorf("slow edge delay = %v", v)
+	}
+	if v := d.Delay(1, 0, 0, 0); v != 0.1 {
+		t.Errorf("fast edge delay = %v", v)
+	}
+	dflt := BiasedDelay{}
+	if v := dflt.Delay(2, 3, 0, 0); v <= 0 || v > 1 {
+		t.Errorf("default fast delay %v outside (0,1]", v)
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := ceilLog2(n); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	m := Model{Knowledge: KT1, Bandwidth: Local}
+	if m.String() != "KT1 LOCAL" {
+		t.Errorf("model string = %q", m.String())
+	}
+	if KT0.String() != "KT0" || Congest.String() != "CONGEST" {
+		t.Error("constant strings wrong")
+	}
+}

@@ -1,0 +1,404 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"riseandshine/internal/graph"
+)
+
+// DefaultMaxEvents caps the number of engine events processed in one run
+// unless overridden, guarding against non-terminating algorithms.
+const DefaultMaxEvents = 20_000_000
+
+// Config describes one execution of the asynchronous engine.
+type Config struct {
+	// Graph is the network topology (required).
+	Graph *graph.Graph
+	// Ports is the KT0 port mapping; nil selects the identity mapping.
+	Ports *graph.PortMap
+	// Model selects knowledge and bandwidth assumptions.
+	Model Model
+	// Adversary supplies the wake schedule (required) and delays
+	// (UnitDelay when nil).
+	Adversary Adversary
+	// Seed drives all node-private randomness.
+	Seed int64
+	// Advice and AdviceBits carry the oracle's output; both nil when the
+	// scheme uses no advice. AdviceBits[v] is the exact bit length charged
+	// to node v.
+	Advice     [][]byte
+	AdviceBits []int
+	// MaxEvents overrides DefaultMaxEvents when positive.
+	MaxEvents int
+	// TrackPorts enables per-node distinct-port accounting (Result.PortsUsed).
+	TrackPorts bool
+	// RecordDigests enables per-node transcript digests
+	// (Result.TranscriptDigests): an order-sensitive hash of every
+	// delivery a node receives (time, ports, sender, payload). Two
+	// executions are observationally identical at a node iff the digests
+	// match — the executable form of the indistinguishability arguments
+	// in Lemmas 5 and 6.
+	RecordDigests bool
+	// StrictCongest makes the run fail if any message exceeds the CONGEST
+	// bit limit; otherwise violations are only counted.
+	StrictCongest bool
+	// Trace, when non-nil, receives one CSV line per engine event (wake
+	// or delivery); see the tracer documentation in trace.go.
+	Trace io.Writer
+}
+
+const (
+	evWake = iota + 1
+	evDeliver
+)
+
+type event struct {
+	at   Time
+	seq  int64
+	kind int
+	node int
+	d    Delivery
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// asyncEngine holds all mutable execution state.
+type asyncEngine struct {
+	cfg      Config
+	alg      Algorithm
+	g        *graph.Graph
+	pm       *graph.PortMap
+	delays   Delayer
+	queue    eventQueue
+	seq      int64
+	now      Time
+	awake    []bool
+	advWoken []bool
+	machines []Program
+	rands    []*rand.Rand
+	infos    []NodeInfo
+	fifoLast map[int64]Time // directed edge key -> last delivery time
+	edgeSeq  map[int64]int  // directed edge key -> messages sent so far
+	portUsed [][]bool
+	digests  []uint64
+	trace    *tracer
+	limit    int // CONGEST bit limit (0 = none)
+	res      Result
+	firstSet bool
+	first    Time
+	lastWake Time
+	err      error
+}
+
+// asyncCtx is the Context handed to machine handlers; it is bound to the
+// node currently being executed.
+type asyncCtx struct {
+	e    *asyncEngine
+	node int
+}
+
+var _ Context = asyncCtx{}
+
+func (c asyncCtx) Info() NodeInfo        { return c.e.infos[c.node] }
+func (c asyncCtx) Now() Time             { return c.e.now }
+func (c asyncCtx) Round() int            { return -1 }
+func (c asyncCtx) Rand() *rand.Rand      { return c.e.rands[c.node] }
+func (c asyncCtx) AdversarialWake() bool { return c.e.advWoken[c.node] }
+
+func (c asyncCtx) Send(port int, m Message) {
+	c.e.send(c.node, port, m)
+}
+
+func (c asyncCtx) SendToID(id graph.NodeID, m Message) {
+	c.e.sendToID(c.node, id, m)
+}
+
+func (c asyncCtx) Broadcast(m Message) {
+	for p := 1; p <= c.e.g.Degree(c.node); p++ {
+		c.e.send(c.node, p, m)
+	}
+}
+
+func edgeKey(from, to int) int64 { return int64(from)<<32 | int64(uint32(to)) }
+
+// RunAsync executes alg on the configured network until the event queue is
+// exhausted and returns the collected metrics.
+func RunAsync(cfg Config, alg Algorithm) (*Result, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("sim: Config.Graph is required")
+	}
+	if alg == nil {
+		return nil, fmt.Errorf("sim: algorithm is required")
+	}
+	if cfg.Adversary.Schedule == nil {
+		return nil, fmt.Errorf("sim: Config.Adversary.Schedule is required")
+	}
+	g := cfg.Graph
+	pm := cfg.Ports
+	if pm == nil {
+		pm = graph.IdentityPorts(g)
+	}
+	delays := cfg.Adversary.Delays
+	if delays == nil {
+		delays = UnitDelay{}
+	}
+	wakeups := cfg.Adversary.Schedule.Wakeups(g)
+	if err := validateSchedule(g, wakeups); err != nil {
+		return nil, err
+	}
+	if cfg.Advice != nil && len(cfg.Advice) != g.N() {
+		return nil, fmt.Errorf("sim: advice for %d nodes, graph has %d", len(cfg.Advice), g.N())
+	}
+
+	n := g.N()
+	e := &asyncEngine{
+		cfg:      cfg,
+		alg:      alg,
+		g:        g,
+		pm:       pm,
+		delays:   delays,
+		awake:    make([]bool, n),
+		advWoken: make([]bool, n),
+		machines: make([]Program, n),
+		rands:    make([]*rand.Rand, n),
+		infos:    make([]NodeInfo, n),
+		fifoLast: make(map[int64]Time),
+		edgeSeq:  make(map[int64]int),
+		limit:    cfg.Model.congestLimit(n),
+	}
+	e.res = Result{
+		Algorithm:  alg.Name(),
+		N:          n,
+		M:          g.M(),
+		WakeAt:     make([]Time, n),
+		SentBy:     make([]int, n),
+		ReceivedBy: make([]int, n),
+	}
+	for v := range e.res.WakeAt {
+		e.res.WakeAt[v] = -1
+	}
+	if cfg.TrackPorts {
+		e.portUsed = make([][]bool, n)
+		for v := 0; v < n; v++ {
+			e.portUsed[v] = make([]bool, g.Degree(v))
+		}
+	}
+	if cfg.RecordDigests {
+		e.digests = make([]uint64, n)
+		for v := range e.digests {
+			e.digests[v] = fnvOffset
+		}
+	}
+	if cfg.Trace != nil {
+		e.trace = newTracer(cfg.Trace)
+	}
+	for v := 0; v < n; v++ {
+		e.infos[v] = buildNodeInfo(g, pm, cfg.Model, cfg.Advice, cfg.AdviceBits, v)
+	}
+	for _, b := range cfg.AdviceBits {
+		e.res.AdviceTotalBits += int64(b)
+		if b > e.res.AdviceMaxBits {
+			e.res.AdviceMaxBits = b
+		}
+	}
+
+	for _, w := range wakeups {
+		e.push(event{at: w.At, kind: evWake, node: w.Node})
+	}
+
+	maxEvents := cfg.MaxEvents
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+
+	heap.Init(&e.queue)
+	for e.queue.Len() > 0 {
+		if e.res.Events >= maxEvents {
+			return nil, fmt.Errorf("sim: event limit %d exceeded (algorithm %q may not terminate)", maxEvents, alg.Name())
+		}
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		e.res.Events++
+		switch ev.kind {
+		case evWake:
+			if !e.awake[ev.node] {
+				e.advWoken[ev.node] = true
+			}
+			e.wake(ev.node)
+		case evDeliver:
+			e.deliver(ev.node, ev.d)
+		}
+		if e.err != nil {
+			return nil, e.err
+		}
+	}
+
+	e.finalize()
+	if err := e.trace.Err(); err != nil {
+		return &e.res, fmt.Errorf("sim: trace writer: %w", err)
+	}
+	if cfg.StrictCongest && e.res.CongestViolations > 0 {
+		return &e.res, fmt.Errorf("sim: %d messages exceeded the CONGEST limit of %d bits",
+			e.res.CongestViolations, e.limit)
+	}
+	return &e.res, nil
+}
+
+func (e *asyncEngine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+func (e *asyncEngine) wake(v int) {
+	if e.awake[v] {
+		return
+	}
+	e.awake[v] = true
+	e.res.AwakeCount++
+	e.res.WakeAt[v] = e.now
+	if !e.firstSet {
+		e.firstSet = true
+		e.first = e.now
+	}
+	if e.now > e.lastWake {
+		e.lastWake = e.now
+	}
+	if e.rands[v] == nil {
+		e.rands[v] = nodeRand(e.cfg.Seed, v)
+	}
+	e.trace.wake(e.now, v, e.advWoken[v])
+	e.machines[v] = e.alg.NewMachine(e.infos[v])
+	e.machines[v].OnWake(asyncCtx{e: e, node: v})
+}
+
+func (e *asyncEngine) deliver(v int, d Delivery) {
+	if !e.awake[v] {
+		e.wake(v)
+		if e.err != nil {
+			return
+		}
+	}
+	e.res.ReceivedBy[v]++
+	if e.portUsed != nil {
+		e.portUsed[v][d.Port-1] = true
+	}
+	if e.digests != nil {
+		e.digests[v] = digestDelivery(e.digests[v], e.now, d)
+	}
+	e.trace.deliver(e.now, v, d)
+	e.machines[v].OnMessage(asyncCtx{e: e, node: v}, d)
+}
+
+func (e *asyncEngine) send(from, port int, m Message) {
+	if e.err != nil {
+		return
+	}
+	if !e.awake[from] {
+		e.err = fmt.Errorf("sim: sleeping node %d attempted to send", from)
+		return
+	}
+	to := e.pm.Neighbor(from, port)
+	bits := m.Bits()
+	if bits < 0 {
+		e.err = fmt.Errorf("sim: message reports negative size %d bits", bits)
+		return
+	}
+	e.res.Messages++
+	e.res.MessageBits += int64(bits)
+	if bits > e.res.MaxMessageBits {
+		e.res.MaxMessageBits = bits
+	}
+	if e.limit > 0 && bits > e.limit {
+		e.res.CongestViolations++
+	}
+	e.res.SentBy[from]++
+	if e.portUsed != nil {
+		e.portUsed[from][port-1] = true
+	}
+
+	key := edgeKey(from, to)
+	k := e.edgeSeq[key]
+	e.edgeSeq[key] = k + 1
+	delay := e.delays.Delay(from, to, k, e.now)
+	if delay <= 0 || delay > 1 {
+		e.err = fmt.Errorf("sim: delayer returned %v outside (0,1]", delay)
+		return
+	}
+	at := e.now + Time(delay)
+	if last, ok := e.fifoLast[key]; ok && at < last {
+		at = last // enforce per-edge FIFO delivery
+	}
+	e.fifoLast[key] = at
+
+	from64 := graph.NodeID(-1)
+	if e.cfg.Model.Knowledge == KT1 {
+		from64 = e.g.ID(from)
+	}
+	e.push(event{
+		at:   at,
+		kind: evDeliver,
+		node: to,
+		d: Delivery{
+			Msg:        m,
+			Port:       e.pm.PortTo(to, from),
+			SenderPort: port,
+			From:       from64,
+		},
+	})
+}
+
+func (e *asyncEngine) sendToID(from int, id graph.NodeID, m Message) {
+	if e.cfg.Model.Knowledge != KT1 {
+		e.err = fmt.Errorf("sim: SendToID requires KT1 (model is %v)", e.cfg.Model.Knowledge)
+		return
+	}
+	to := e.g.IndexOf(id)
+	if to == -1 || !e.g.HasEdge(from, to) {
+		e.err = fmt.Errorf("sim: node %d (ID %d) has no neighbor with ID %d", from, e.g.ID(from), id)
+		return
+	}
+	e.send(from, e.pm.PortTo(from, to), m)
+}
+
+func (e *asyncEngine) finalize() {
+	r := &e.res
+	r.AllAwake = r.AwakeCount == r.N
+	r.AdversaryWoken = e.advWoken
+	if e.firstSet {
+		r.Span = e.now - e.first
+		r.WakeSpan = e.lastWake - e.first
+	}
+	if e.portUsed != nil {
+		r.PortsUsed = make([]int, len(e.portUsed))
+		for v, used := range e.portUsed {
+			count := 0
+			for _, u := range used {
+				if u {
+					count++
+				}
+			}
+			r.PortsUsed[v] = count
+		}
+	}
+	r.TranscriptDigests = e.digests
+	for _, at := range r.WakeAt {
+		if at >= 0 {
+			r.AwakeTime += float64(e.now - at)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// FNV-1a constants for transcript digesting.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+// digestDelivery folds one delivery into a node's transcript digest. The
+// payload is hashed through its Go-syntax representation, which is stable
+// for the value-type messages the algorithms use.
+func digestDelivery(h uint64, at Time, d Delivery) uint64 {
+	h = fnvUint64(h, math.Float64bits(float64(at)))
+	h = fnvUint64(h, uint64(d.Port))
+	h = fnvUint64(h, uint64(d.SenderPort))
+	h = fnvUint64(h, uint64(d.From))
+	return fnvString(h, fmt.Sprintf("%#v", d.Msg))
+}

@@ -1,0 +1,45 @@
+package sim
+
+import "math/rand"
+
+// splitmix64 advances and scrambles a 64-bit state. It is used to derive
+// independent deterministic seeds for per-node randomness and per-message
+// delays from a single run seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// deriveSeed mixes a run seed with a stream label and index.
+func deriveSeed(seed int64, stream uint64, index uint64) int64 {
+	h := splitmix64(uint64(seed) ^ stream*0x9e3779b97f4a7c15)
+	h = splitmix64(h ^ index)
+	return int64(h)
+}
+
+// streams for seed derivation
+const (
+	streamNodeRand uint64 = 1 + iota
+	streamDelay
+	streamWake
+	streamPorts
+)
+
+// nodeRand returns the private randomness source for node v under the given
+// run seed.
+func nodeRand(seed int64, v int) *rand.Rand {
+	return rand.New(rand.NewSource(deriveSeed(seed, streamNodeRand, uint64(v))))
+}
+
+// hashUnit maps (seed, a, b, k) deterministically to a float64 in (0, 1].
+func hashUnit(seed int64, a, b, k int) float64 {
+	stream := uint64(streamDelay)
+	h := splitmix64(uint64(seed) ^ stream*0x9e3779b97f4a7c15)
+	h = splitmix64(h ^ uint64(a)<<32 ^ uint64(uint32(b)))
+	h = splitmix64(h ^ uint64(k))
+	// 53 random bits into (0,1]: (h>>11 + 1) / 2^53
+	return (float64(h>>11) + 1) / float64(1<<53)
+}

@@ -1,0 +1,377 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"riseandshine/internal/graph"
+)
+
+// DefaultMaxRounds caps synchronous executions unless overridden.
+const DefaultMaxRounds = 1_000_000
+
+// SyncConfig describes one execution of the synchronous engine. Message
+// delays are fixed at one round, so only the wake schedule of the
+// adversary applies; wake times are truncated to round numbers.
+type SyncConfig struct {
+	Graph      *graph.Graph
+	Ports      *graph.PortMap
+	Model      Model
+	Schedule   WakeScheduler
+	Seed       int64
+	Advice     [][]byte
+	AdviceBits []int
+	// MaxRounds overrides DefaultMaxRounds when positive.
+	MaxRounds int
+	// TrackPorts enables Result.PortsUsed accounting.
+	TrackPorts bool
+	// StrictCongest makes the run fail on CONGEST violations.
+	StrictCongest bool
+}
+
+type pendingMsg struct {
+	seq int64
+	to  int
+	d   Delivery
+}
+
+// syncEngine holds the mutable state of a synchronous run.
+type syncEngine struct {
+	cfg          SyncConfig
+	g            *graph.Graph
+	pm           *graph.PortMap
+	round        int
+	awake        []bool
+	advWoken     []bool
+	machines     []SyncProgram
+	newMachineFn func(NodeInfo) SyncProgram
+	rands        []*rand.Rand
+	infos        []NodeInfo
+	inflight     []pendingMsg // sent this round, delivered next round
+	seq          int64
+	portUsed     [][]bool
+	limit        int
+	res          Result
+	err          error
+}
+
+type syncCtx struct {
+	e    *syncEngine
+	node int
+}
+
+var _ Context = syncCtx{}
+
+func (c syncCtx) Info() NodeInfo        { return c.e.infos[c.node] }
+func (c syncCtx) Now() Time             { return Time(c.e.round) }
+func (c syncCtx) Round() int            { return c.e.round }
+func (c syncCtx) Rand() *rand.Rand      { return c.e.rands[c.node] }
+func (c syncCtx) AdversarialWake() bool { return c.e.advWoken[c.node] }
+
+func (c syncCtx) Send(port int, m Message) { c.e.send(c.node, port, m) }
+
+func (c syncCtx) SendToID(id graph.NodeID, m Message) { c.e.sendToID(c.node, id, m) }
+
+func (c syncCtx) Broadcast(m Message) {
+	for p := 1; p <= c.e.g.Degree(c.node); p++ {
+		c.e.send(c.node, p, m)
+	}
+}
+
+// RunSync executes alg in lock-step rounds until the network is quiescent:
+// no in-flight messages, no pending adversarial wake-ups, and every awake
+// machine reporting quiescence (machines that do not implement Quiescer
+// are treated as quiescent).
+func RunSync(cfg SyncConfig, alg SyncAlgorithm) (*Result, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("sim: SyncConfig.Graph is required")
+	}
+	if alg == nil {
+		return nil, fmt.Errorf("sim: algorithm is required")
+	}
+	if cfg.Schedule == nil {
+		return nil, fmt.Errorf("sim: SyncConfig.Schedule is required")
+	}
+	g := cfg.Graph
+	pm := cfg.Ports
+	if pm == nil {
+		pm = graph.IdentityPorts(g)
+	}
+	wakeups := cfg.Schedule.Wakeups(g)
+	if err := validateSchedule(g, wakeups); err != nil {
+		return nil, err
+	}
+	if cfg.Advice != nil && len(cfg.Advice) != g.N() {
+		return nil, fmt.Errorf("sim: advice for %d nodes, graph has %d", len(cfg.Advice), g.N())
+	}
+
+	n := g.N()
+	e := &syncEngine{
+		cfg:          cfg,
+		g:            g,
+		pm:           pm,
+		awake:        make([]bool, n),
+		advWoken:     make([]bool, n),
+		machines:     make([]SyncProgram, n),
+		newMachineFn: alg.NewMachine,
+		rands:        make([]*rand.Rand, n),
+		infos:        make([]NodeInfo, n),
+		limit:        cfg.Model.congestLimit(n),
+	}
+	e.res = Result{
+		Algorithm:  alg.Name(),
+		N:          n,
+		M:          g.M(),
+		WakeAt:     make([]Time, n),
+		SentBy:     make([]int, n),
+		ReceivedBy: make([]int, n),
+	}
+	for v := range e.res.WakeAt {
+		e.res.WakeAt[v] = -1
+	}
+	if cfg.TrackPorts {
+		e.portUsed = make([][]bool, n)
+		for v := 0; v < n; v++ {
+			e.portUsed[v] = make([]bool, g.Degree(v))
+		}
+	}
+	for v := 0; v < n; v++ {
+		e.infos[v] = buildNodeInfo(g, pm, cfg.Model, cfg.Advice, cfg.AdviceBits, v)
+	}
+	if cfg.AdviceBits != nil {
+		for _, b := range cfg.AdviceBits {
+			e.res.AdviceTotalBits += int64(b)
+			if b > e.res.AdviceMaxBits {
+				e.res.AdviceMaxBits = b
+			}
+		}
+	}
+
+	// Bucket the wake schedule by round.
+	wakeByRound := make(map[int][]int)
+	lastWakeRound := 0
+	firstWakeRound := int(^uint(0) >> 1)
+	for _, w := range wakeups {
+		r := int(w.At)
+		wakeByRound[r] = append(wakeByRound[r], w.Node)
+		if r > lastWakeRound {
+			lastWakeRound = r
+		}
+		if r < firstWakeRound {
+			firstWakeRound = r
+		}
+	}
+	for _, nodes := range wakeByRound {
+		sort.Ints(nodes)
+	}
+
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+
+	lastActive := firstWakeRound
+	lastWoken := firstWakeRound
+	for e.round = firstWakeRound; ; e.round++ {
+		if e.round-firstWakeRound > maxRounds {
+			return nil, fmt.Errorf("sim: round limit %d exceeded (algorithm %q may not terminate)", maxRounds, alg.Name())
+		}
+		active := false
+
+		// Snapshot last round's sends before any handler runs this round:
+		// everything sent during this round (including by OnWake of nodes
+		// the adversary wakes below) is delivered next round.
+		arrivals := e.inflight
+		e.inflight = nil
+
+		// 1. Adversarial wake-ups scheduled for this round.
+		for _, v := range wakeByRound[e.round] {
+			if !e.awake[v] {
+				e.advWoken[v] = true
+				e.wakeNode(v)
+				lastWoken = e.round
+				active = true
+			}
+		}
+		delete(wakeByRound, e.round)
+
+		// 2. Deliveries: messages sent in the previous round.
+		inbox := make(map[int][]Delivery)
+		var receivers []int
+		for _, pm := range arrivals {
+			if _, ok := inbox[pm.to]; !ok {
+				receivers = append(receivers, pm.to)
+			}
+			inbox[pm.to] = append(inbox[pm.to], pm.d)
+			active = true
+		}
+		sort.Ints(receivers)
+		for _, v := range receivers {
+			if !e.awake[v] {
+				e.wakeNode(v)
+				lastWoken = e.round
+			}
+			e.res.ReceivedBy[v] += len(inbox[v])
+			if e.portUsed != nil {
+				for _, d := range inbox[v] {
+					e.portUsed[v][d.Port-1] = true
+				}
+			}
+		}
+		if e.err != nil {
+			return nil, e.err
+		}
+
+		// 3. Computing step for every awake node.
+		for v := 0; v < n; v++ {
+			if !e.awake[v] {
+				continue
+			}
+			e.machines[v].OnRound(syncCtx{e: e, node: v}, inbox[v])
+			if e.err != nil {
+				return nil, e.err
+			}
+		}
+		e.res.Events++
+		if len(e.inflight) > 0 {
+			active = true
+		}
+		if active {
+			lastActive = e.round
+		}
+
+		// 4. Quiescence check.
+		if len(e.inflight) == 0 && len(wakeByRound) == 0 && e.allQuiescent() {
+			break
+		}
+	}
+
+	e.res.Rounds = lastActive - firstWakeRound
+	e.res.Span = Time(e.res.Rounds)
+	e.res.WakeSpan = Time(lastWoken - firstWakeRound)
+	e.res.AllAwake = e.res.AwakeCount == n
+	e.res.AdversaryWoken = e.advWoken
+	for _, at := range e.res.WakeAt {
+		if at >= 0 {
+			e.res.AwakeTime += float64(Time(lastActive) - at)
+		}
+	}
+	if e.portUsed != nil {
+		e.res.PortsUsed = make([]int, n)
+		for v, used := range e.portUsed {
+			count := 0
+			for _, u := range used {
+				if u {
+					count++
+				}
+			}
+			e.res.PortsUsed[v] = count
+		}
+	}
+	if cfg.StrictCongest && e.res.CongestViolations > 0 {
+		return &e.res, fmt.Errorf("sim: %d messages exceeded the CONGEST limit of %d bits",
+			e.res.CongestViolations, e.limit)
+	}
+	return &e.res, nil
+}
+
+func (e *syncEngine) allQuiescent() bool {
+	for v, m := range e.machines {
+		if !e.awake[v] || m == nil {
+			continue
+		}
+		if q, ok := m.(Quiescer); ok && !q.Quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *syncEngine) wakeNode(v int) {
+	e.awake[v] = true
+	e.res.AwakeCount++
+	e.res.WakeAt[v] = Time(e.round)
+	if e.rands[v] == nil {
+		e.rands[v] = nodeRand(e.cfg.Seed, v)
+	}
+	e.machines[v] = e.newMachineFn(e.infos[v])
+	e.machines[v].OnWake(syncCtx{e: e, node: v})
+}
+
+func (e *syncEngine) send(from, port int, m Message) {
+	if e.err != nil {
+		return
+	}
+	to := e.pm.Neighbor(from, port)
+	bits := m.Bits()
+	if bits < 0 {
+		e.err = fmt.Errorf("sim: message reports negative size %d bits", bits)
+		return
+	}
+	e.res.Messages++
+	e.res.MessageBits += int64(bits)
+	if bits > e.res.MaxMessageBits {
+		e.res.MaxMessageBits = bits
+	}
+	if e.limit > 0 && bits > e.limit {
+		e.res.CongestViolations++
+	}
+	e.res.SentBy[from]++
+	if e.portUsed != nil {
+		e.portUsed[from][port-1] = true
+	}
+	fromID := graph.NodeID(-1)
+	if e.cfg.Model.Knowledge == KT1 {
+		fromID = e.g.ID(from)
+	}
+	e.inflight = append(e.inflight, pendingMsg{
+		seq: e.seq,
+		to:  to,
+		d: Delivery{
+			Msg:        m,
+			Port:       e.pm.PortTo(to, from),
+			SenderPort: port,
+			From:       fromID,
+		},
+	})
+	e.seq++
+}
+
+func (e *syncEngine) sendToID(from int, id graph.NodeID, m Message) {
+	if e.cfg.Model.Knowledge != KT1 {
+		e.err = fmt.Errorf("sim: SendToID requires KT1 (model is %v)", e.cfg.Model.Knowledge)
+		return
+	}
+	to := e.g.IndexOf(id)
+	if to == -1 || !e.g.HasEdge(from, to) {
+		e.err = fmt.Errorf("sim: node %d (ID %d) has no neighbor with ID %d", from, e.g.ID(from), id)
+		return
+	}
+	e.send(from, e.pm.PortTo(from, to), m)
+}
+
+// buildNodeInfo assembles the static NodeInfo for node v under the given
+// model and advice assignment.
+func buildNodeInfo(g *graph.Graph, pm *graph.PortMap, model Model, adv [][]byte, advBits []int, v int) NodeInfo {
+	info := NodeInfo{
+		ID:     g.ID(v),
+		N:      g.N(),
+		LogN:   ceilLog2(g.N()),
+		Degree: g.Degree(v),
+	}
+	if model.Knowledge == KT1 {
+		ids := make([]graph.NodeID, info.Degree)
+		for p := 1; p <= info.Degree; p++ {
+			ids[p-1] = g.ID(pm.Neighbor(v, p))
+		}
+		info.NeighborIDs = ids
+	}
+	if adv != nil {
+		info.Advice = adv[v]
+		if advBits != nil {
+			info.AdviceBits = advBits[v]
+		}
+	}
+	return info
+}

@@ -1,0 +1,43 @@
+package stats
+
+import "sort"
+
+// WakeCurve converts per-node wake times (−1 for nodes that never woke)
+// into the cumulative "fraction awake over time" series that wake-up
+// papers plot: one point per distinct wake time, with Y the fraction of
+// all nodes awake at that instant.
+func WakeCurve(wakeAt []float64) []Point {
+	times := make([]float64, 0, len(wakeAt))
+	for _, t := range wakeAt {
+		if t >= 0 {
+			times = append(times, t)
+		}
+	}
+	if len(times) == 0 {
+		return nil
+	}
+	sort.Float64s(times)
+	n := float64(len(wakeAt))
+	var curve []Point
+	for i := 0; i < len(times); {
+		j := i
+		for j < len(times) && times[j] == times[i] {
+			j++
+		}
+		curve = append(curve, Point{N: times[i], Y: float64(j) / n})
+		i = j
+	}
+	return curve
+}
+
+// TimeToFraction returns the earliest time at which at least the given
+// fraction of nodes was awake, or -1 if it was never reached.
+func TimeToFraction(wakeAt []float64, fraction float64) float64 {
+	curve := WakeCurve(wakeAt)
+	for _, p := range curve {
+		if p.Y >= fraction {
+			return p.N
+		}
+	}
+	return -1
+}

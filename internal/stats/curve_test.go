@@ -1,0 +1,39 @@
+package stats
+
+import "testing"
+
+func TestWakeCurve(t *testing.T) {
+	wakeAt := []float64{0, 1, 1, 3, -1}
+	curve := WakeCurve(wakeAt)
+	want := []Point{{0, 0.2}, {1, 0.6}, {3, 0.8}}
+	if len(curve) != len(want) {
+		t.Fatalf("curve = %v", curve)
+	}
+	for i := range want {
+		if curve[i] != want[i] {
+			t.Fatalf("curve[%d] = %v, want %v", i, curve[i], want[i])
+		}
+	}
+}
+
+func TestWakeCurveEmpty(t *testing.T) {
+	if c := WakeCurve([]float64{-1, -1}); c != nil {
+		t.Errorf("curve = %v, want nil", c)
+	}
+	if c := WakeCurve(nil); c != nil {
+		t.Errorf("curve of nil = %v", c)
+	}
+}
+
+func TestTimeToFraction(t *testing.T) {
+	wakeAt := []float64{0, 2, 4, 6}
+	if at := TimeToFraction(wakeAt, 0.5); at != 2 {
+		t.Errorf("T(50%%) = %v, want 2", at)
+	}
+	if at := TimeToFraction(wakeAt, 1.0); at != 6 {
+		t.Errorf("T(100%%) = %v, want 6", at)
+	}
+	if at := TimeToFraction([]float64{0, -1}, 1.0); at != -1 {
+		t.Errorf("unreachable fraction should give -1, got %v", at)
+	}
+}

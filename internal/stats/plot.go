@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve for the terminal plotter.
+type Series struct {
+	Name   string
+	Marker byte
+	Points []Point
+}
+
+// PlotConfig controls Plot's rendering.
+type PlotConfig struct {
+	Width, Height int
+	// LogX and LogY select logarithmic axes (the natural choice for
+	// growth curves).
+	LogX, LogY bool
+	Title      string
+}
+
+// Plot renders one or more series as an ASCII scatter plot — the
+// repository's "figures" for terminal-based experiment tooling. Points
+// with non-positive coordinates are skipped on logarithmic axes.
+func Plot(cfg PlotConfig, series ...Series) string {
+	width := cfg.Width
+	if width <= 0 {
+		width = 64
+	}
+	height := cfg.Height
+	if height <= 0 {
+		height = 20
+	}
+
+	tx := func(v float64) float64 { return v }
+	if cfg.LogX {
+		tx = math.Log10
+	}
+	ty := func(v float64) float64 { return v }
+	if cfg.LogY {
+		ty = math.Log10
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	usable := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if (cfg.LogX && p.N <= 0) || (cfg.LogY && p.Y <= 0) {
+				continue
+			}
+			usable++
+			minX = math.Min(minX, tx(p.N))
+			maxX = math.Max(maxX, tx(p.N))
+			minY = math.Min(minY, ty(p.Y))
+			maxY = math.Max(maxY, ty(p.Y))
+		}
+	}
+	if usable == 0 {
+		return "(no plottable points)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if (cfg.LogX && p.N <= 0) || (cfg.LogY && p.Y <= 0) {
+				continue
+			}
+			col := int((tx(p.N) - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((ty(p.Y)-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = s.Marker
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	axisLabel := func(v float64, log bool) string {
+		if log {
+			return fmt.Sprintf("%.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%.3g", v)
+	}
+	for r, line := range grid {
+		prefix := strings.Repeat(" ", 10)
+		if r == 0 {
+			prefix = fmt.Sprintf("%9s ", axisLabel(maxY, cfg.LogY))
+		} else if r == height-1 {
+			prefix = fmt.Sprintf("%9s ", axisLabel(minY, cfg.LogY))
+		}
+		fmt.Fprintf(&b, "%s|%s\n", prefix, string(line))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s%-*s%s\n", strings.Repeat(" ", 11),
+		width-len(axisLabel(maxX, cfg.LogX)), axisLabel(minX, cfg.LogX), axisLabel(maxX, cfg.LogX))
+	// Legend, sorted by name for determinism.
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.Marker, s.Name))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(&b, "%s\n", strings.Join(legend, "   "))
+	return b.String()
+}

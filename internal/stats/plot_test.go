@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	out := Plot(PlotConfig{Title: "growth", LogX: true, LogY: true},
+		Series{Name: "linear", Marker: '*', Points: []Point{
+			{N: 10, Y: 10}, {N: 100, Y: 100}, {N: 1000, Y: 1000},
+		}},
+		Series{Name: "quadratic", Marker: 'o', Points: []Point{
+			{N: 10, Y: 100}, {N: 100, Y: 10000}, {N: 1000, Y: 1e6},
+		}},
+	)
+	for _, want := range []string{"growth", "* linear", "o quadratic", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "+--") {
+		t.Errorf("plot missing x axis:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	out := Plot(PlotConfig{LogX: true}, Series{Name: "bad", Marker: 'x', Points: []Point{{N: -1, Y: 5}}})
+	if !strings.Contains(out, "no plottable points") {
+		t.Errorf("expected empty-plot message, got:\n%s", out)
+	}
+}
+
+func TestPlotSinglePoint(t *testing.T) {
+	out := Plot(PlotConfig{}, Series{Name: "pt", Marker: '#', Points: []Point{{N: 5, Y: 5}}})
+	if !strings.Contains(out, "#") {
+		t.Errorf("single point not rendered:\n%s", out)
+	}
+}
+
+func TestPlotMonotoneRows(t *testing.T) {
+	// A strictly increasing series must render markers in strictly
+	// non-increasing row order (higher value → higher on screen).
+	out := Plot(PlotConfig{Width: 40, Height: 10},
+		Series{Name: "inc", Marker: '*', Points: []Point{
+			{N: 1, Y: 1}, {N: 2, Y: 5}, {N: 3, Y: 9},
+		}})
+	lines := strings.Split(out, "\n")
+	var rows []int
+	for r, line := range lines {
+		if strings.Contains(line, "|") && strings.Contains(line, "*") {
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 marker rows, got %d:\n%s", len(rows), out)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i] <= rows[i-1] {
+			t.Fatalf("marker rows not descending with value: %v\n%s", rows, out)
+		}
+	}
+}

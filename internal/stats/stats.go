@@ -1,0 +1,160 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: least-squares log–log slope estimation (empirical
+// growth exponents), constancy-of-ratio checks against closed-form growth
+// models, and summary statistics over repeated seeded runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one measurement: a problem size and an observed cost.
+type Point struct {
+	N float64
+	Y float64
+}
+
+// LogLogFit performs a least-squares fit of log y = intercept + slope·log n.
+// The slope is the empirical growth exponent: ≈1 for linear cost, ≈1.5 for
+// n^{3/2}, ≈2 for quadratic. Points with non-positive coordinates are
+// ignored; fewer than two usable points yield NaN.
+func LogLogFit(pts []Point) (slope, intercept float64) {
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for _, p := range pts {
+		if p.N <= 0 || p.Y <= 0 {
+			continue
+		}
+		x, y := math.Log(p.N), math.Log(p.Y)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	if n < 2 {
+		return math.NaN(), math.NaN()
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return math.NaN(), math.NaN()
+	}
+	slope = (fn*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / fn
+	return slope, intercept
+}
+
+// Model is a closed-form growth function of the problem size.
+type Model struct {
+	Name string
+	F    func(n float64) float64
+}
+
+// Common growth models from Table 1.
+var (
+	Linear    = Model{Name: "n", F: func(n float64) float64 { return n }}
+	NLogN     = Model{Name: "n·log n", F: func(n float64) float64 { return n * math.Log(n) }}
+	NLog2N    = Model{Name: "n·log² n", F: func(n float64) float64 { l := math.Log(n); return n * l * l }}
+	N32       = Model{Name: "n^{3/2}", F: func(n float64) float64 { return math.Pow(n, 1.5) }}
+	N32SqrtLg = Model{Name: "n^{3/2}·√log n", F: func(n float64) float64 { return math.Pow(n, 1.5) * math.Sqrt(math.Log(n)) }}
+	NSquared  = Model{Name: "n²", F: func(n float64) float64 { return n * n }}
+	LogN      = Model{Name: "log n", F: math.Log}
+	Log2N     = Model{Name: "log² n", F: func(n float64) float64 { l := math.Log(n); return l * l }}
+	SqrtNLogN = Model{Name: "√n·log n", F: func(n float64) float64 { return math.Sqrt(n) * math.Log(n) }}
+	Const     = Model{Name: "1", F: func(float64) float64 { return 1 }}
+)
+
+// PowerLog returns the model n^e·log^l n.
+func PowerLog(e float64, l int) Model {
+	name := fmt.Sprintf("n^%.3g", e)
+	if l > 0 {
+		name += fmt.Sprintf("·log^%d n", l)
+	}
+	return Model{Name: name, F: func(n float64) float64 {
+		v := math.Pow(n, e)
+		for i := 0; i < l; i++ {
+			v *= math.Log(n)
+		}
+		return v
+	}}
+}
+
+// Ratios returns y_i / model(n_i) for every usable point.
+func Ratios(pts []Point, m Model) []float64 {
+	out := make([]float64, 0, len(pts))
+	for _, p := range pts {
+		f := m.F(p.N)
+		if f > 0 {
+			out = append(out, p.Y/f)
+		}
+	}
+	return out
+}
+
+// Constancy measures how well the model explains the data: it returns the
+// geometric-mean ratio y/model(n) and the spread max/min of the ratios. A
+// spread close to 1 means the cost is a constant multiple of the model.
+func Constancy(pts []Point, m Model) (geoMean, spread float64) {
+	rs := Ratios(pts, m)
+	if len(rs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	logSum := 0.0
+	minR, maxR := math.Inf(1), math.Inf(-1)
+	for _, r := range rs {
+		logSum += math.Log(r)
+		minR = math.Min(minR, r)
+		maxR = math.Max(maxR, r)
+	}
+	return math.Exp(logSum / float64(len(rs))), maxR / minR
+}
+
+// BestModel returns the candidate with the smallest ratio spread.
+func BestModel(pts []Point, candidates []Model) (Model, float64) {
+	best := Model{}
+	bestSpread := math.Inf(1)
+	for _, m := range candidates {
+		if _, spread := Constancy(pts, m); spread < bestSpread {
+			best, bestSpread = m, spread
+		}
+	}
+	return best, bestSpread
+}
+
+// Summary holds descriptive statistics of repeated measurements.
+type Summary struct {
+	Count            int
+	Mean, Std        float64
+	Min, Max, Median float64
+}
+
+// Summarize computes descriptive statistics; an empty input yields zeros.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range xs {
+		s.Mean += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - s.Mean
+		s.Std += d * d
+	}
+	s.Std = math.Sqrt(s.Std / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func syntheticPoints(f func(n float64) float64, sizes ...float64) []Point {
+	pts := make([]Point, 0, len(sizes))
+	for _, n := range sizes {
+		pts = append(pts, Point{N: n, Y: f(n)})
+	}
+	return pts
+}
+
+func TestLogLogFitExactPowerLaw(t *testing.T) {
+	for _, exp := range []float64{0.5, 1, 1.5, 2} {
+		pts := syntheticPoints(func(n float64) float64 { return 3 * math.Pow(n, exp) },
+			100, 200, 400, 800, 1600)
+		slope, intercept := LogLogFit(pts)
+		if math.Abs(slope-exp) > 1e-9 {
+			t.Errorf("exp=%v: slope = %v", exp, slope)
+		}
+		if math.Abs(math.Exp(intercept)-3) > 1e-6 {
+			t.Errorf("exp=%v: constant = %v, want 3", exp, math.Exp(intercept))
+		}
+	}
+}
+
+func TestLogLogFitDegenerate(t *testing.T) {
+	if s, _ := LogLogFit(nil); !math.IsNaN(s) {
+		t.Error("empty fit should be NaN")
+	}
+	if s, _ := LogLogFit([]Point{{N: 10, Y: 5}}); !math.IsNaN(s) {
+		t.Error("single-point fit should be NaN")
+	}
+	if s, _ := LogLogFit([]Point{{N: -1, Y: 5}, {N: 0, Y: 2}}); !math.IsNaN(s) {
+		t.Error("non-positive points must be ignored")
+	}
+	// Identical n values: vertical line, NaN.
+	if s, _ := LogLogFit([]Point{{N: 10, Y: 5}, {N: 10, Y: 7}}); !math.IsNaN(s) {
+		t.Error("vertical fit should be NaN")
+	}
+}
+
+func TestConstancyPerfectModel(t *testing.T) {
+	pts := syntheticPoints(NLogN.F, 64, 128, 256, 512)
+	geo, spread := Constancy(pts, NLogN)
+	if math.Abs(geo-1) > 1e-9 || math.Abs(spread-1) > 1e-9 {
+		t.Errorf("geo=%v spread=%v", geo, spread)
+	}
+}
+
+func TestConstancyWrongModel(t *testing.T) {
+	pts := syntheticPoints(NSquared.F, 64, 128, 256, 512)
+	_, spread := Constancy(pts, Linear)
+	if spread < 7 { // ratios grow by 8× over the range
+		t.Errorf("spread = %v, expected large for a wrong model", spread)
+	}
+}
+
+func TestBestModelSelectsTruth(t *testing.T) {
+	candidates := []Model{Linear, NLogN, N32, NSquared}
+	for _, truth := range candidates {
+		pts := syntheticPoints(func(n float64) float64 { return 7 * truth.F(n) },
+			128, 256, 512, 1024, 2048)
+		best, _ := BestModel(pts, candidates)
+		if best.Name != truth.Name {
+			t.Errorf("truth %s identified as %s", truth.Name, best.Name)
+		}
+	}
+}
+
+func TestPowerLogModel(t *testing.T) {
+	m := PowerLog(1.5, 2)
+	n := 100.0
+	want := math.Pow(n, 1.5) * math.Log(n) * math.Log(n)
+	if math.Abs(m.F(n)-want) > 1e-9 {
+		t.Errorf("PowerLog value = %v, want %v", m.F(n), want)
+	}
+	if m.Name == "" {
+		t.Error("model name empty")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Count != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Median-2.5) > 1e-9 {
+		t.Errorf("median = %v", s.Median)
+	}
+	odd := Summarize([]float64{5, 1, 9})
+	if odd.Median != 5 {
+		t.Errorf("odd median = %v", odd.Median)
+	}
+	if z := Summarize(nil); z.Count != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+// TestSummarizeProperty: mean lies within [min, max]; std is non-negative.
+func TestSummarizeProperty(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count)%50 + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.Std >= 0 &&
+			s.Median >= s.Min-1e-9 && s.Median <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	pts := []Point{{N: 10, Y: 20}, {N: 100, Y: 200}}
+	rs := Ratios(pts, Linear)
+	if len(rs) != 2 || rs[0] != 2 || rs[1] != 2 {
+		t.Errorf("ratios = %v", rs)
+	}
+	if rs := Ratios(nil, Linear); len(rs) != 0 {
+		t.Error("empty ratios expected")
+	}
+}
+
+func TestConstancyEmpty(t *testing.T) {
+	geo, spread := Constancy(nil, Linear)
+	if !math.IsNaN(geo) || !math.IsNaN(spread) {
+		t.Error("empty constancy should be NaN")
+	}
+}

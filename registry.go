@@ -1,0 +1,176 @@
+package riseandshine
+
+import (
+	"fmt"
+	"sort"
+
+	"riseandshine/internal/advice"
+	"riseandshine/internal/core"
+	"riseandshine/internal/sim"
+)
+
+// Options carries per-algorithm parameters; zero values select the
+// defaults used in the paper.
+type Options struct {
+	// Root is the BFS root for the tree-based advising schemes.
+	Root int
+	// K is the spanner stretch parameter of the Theorem 6 scheme; 0
+	// selects the Corollary 2 instantiation k = ⌈log2 n⌉ at run time.
+	K int
+	// RootProb overrides FastWakeUp's sampling probability.
+	RootProb float64
+	// GossipRounds overrides the push-gossip round budget.
+	GossipRounds int
+	// RankBits overrides the DFS rank width.
+	RankBits int
+}
+
+// AlgorithmInfo describes one registered algorithm.
+type AlgorithmInfo struct {
+	// Name is the registry key.
+	Name string
+	// Paper cites the theorem or source the algorithm implements.
+	Paper string
+	// Description is a one-line summary.
+	Description string
+	// Model is the weakest model the algorithm is designed for.
+	Model Model
+	// Synchronous reports whether the algorithm requires lock-step rounds.
+	Synchronous bool
+	// UsesAdvice reports whether an oracle must run before execution.
+	UsesAdvice bool
+
+	newOracle func(n int, opt Options) advice.Oracle
+	newAsync  func(opt Options) sim.Algorithm
+	newSync   func(opt Options) sim.SyncAlgorithm
+}
+
+func registry() map[string]AlgorithmInfo {
+	infos := []AlgorithmInfo{
+		{
+			Name:        "flood",
+			Paper:       "folklore baseline (§1.2)",
+			Description: "broadcast on wake: optimal ρ_awk time, Θ(m) messages",
+			Model:       Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+			newAsync:    func(Options) sim.Algorithm { return core.Flood{} },
+		},
+		{
+			Name:        "dfs-rank",
+			Paper:       "Theorem 3",
+			Description: "ranked DFS traversals: O(n log n) time and messages w.h.p.",
+			Model:       Model{Knowledge: sim.KT1, Bandwidth: sim.Local},
+			newAsync:    func(o Options) sim.Algorithm { return core.DFSRank{RankBits: o.RankBits} },
+		},
+		{
+			Name:        "fast-wakeup",
+			Paper:       "Theorem 4",
+			Description: "sampled roots + depth-3 BFS trees: O(ρ_awk) rounds, O(n^{3/2}√log n) messages w.h.p.",
+			Model:       Model{Knowledge: sim.KT1, Bandwidth: sim.Local},
+			Synchronous: true,
+			newSync:     func(o Options) sim.SyncAlgorithm { return core.FastWakeUp{RootProb: o.RootProb} },
+		},
+		{
+			Name:        "fip06",
+			Paper:       "Corollary 1 (after Fraigniaud–Ilcinkas–Pelc)",
+			Description: "BFS-tree port advice: O(D) time, O(n) messages, max advice O(n) bits",
+			Model:       Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+			UsesAdvice:  true,
+			newOracle:   func(_ int, o Options) advice.Oracle { return core.FIP06Oracle{Root: o.Root} },
+			newAsync:    func(Options) sim.Algorithm { return core.FIP06{} },
+		},
+		{
+			Name:        "threshold",
+			Paper:       "Theorem 5(A)",
+			Description: "√n degree threshold: O(D) time, O(n^{3/2}) messages, max advice O(√n log n) bits",
+			Model:       Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+			UsesAdvice:  true,
+			newOracle:   func(_ int, o Options) advice.Oracle { return core.ThresholdOracle{Root: o.Root} },
+			newAsync:    func(Options) sim.Algorithm { return core.Threshold{} },
+		},
+		{
+			Name:        "cen",
+			Paper:       "Theorem 5(B)",
+			Description: "child-encoding scheme: O(D log n) time, O(n) messages, max advice O(log n) bits",
+			Model:       Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+			UsesAdvice:  true,
+			newOracle:   func(_ int, o Options) advice.Oracle { return core.CENOracle{Root: o.Root} },
+			newAsync:    func(Options) sim.Algorithm { return core.CEN{} },
+		},
+		{
+			Name:        "spanner",
+			Paper:       "Theorem 6 / Corollary 2",
+			Description: "child-encoded greedy spanner: O(k·ρ_awk·log n) time, Õ(n^{1+1/k}) messages",
+			Model:       Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+			UsesAdvice:  true,
+			newOracle: func(n int, o Options) advice.Oracle {
+				k := o.K
+				if k <= 0 {
+					k = core.Corollary2K(n)
+				}
+				return core.SpannerOracle{K: k}
+			},
+			newAsync: func(Options) sim.Algorithm { return core.SpannerScheme{} },
+		},
+		{
+			Name:        "dfs-congest",
+			Paper:       "Theorem 3 comparator (CONGEST variant)",
+			Description: "priority DFS with O(log n)-bit tokens: Θ(m) messages — what LOCAL saves Theorem 3",
+			Model:       Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+			newAsync:    func(Options) sim.Algorithm { return core.CongestDFS{} },
+		},
+		{
+			Name:        "echo-flood",
+			Paper:       "flooding + PIF feedback (library extension)",
+			Description: "wake-up with termination detection: initiators learn when everyone is awake",
+			Model:       Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+			newAsync:    func(Options) sim.Algorithm { return core.EchoFlood{} },
+		},
+		{
+			Name:        "counting-wake",
+			Paper:       "aggregating echo wave (library extension)",
+			Description: "wake-up + size discovery: each initiator learns n via subtree counting",
+			Model:       Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+			newAsync:    func(Options) sim.Algorithm { return core.CountingWake{} },
+		},
+		{
+			Name:        "leader-elect",
+			Paper:       "application of Theorem 3 (§1.3)",
+			Description: "ranked-DFS leader election under adversarial wake-up: Õ(n) time and messages",
+			Model:       Model{Knowledge: sim.KT1, Bandwidth: sim.Local},
+			newAsync:    func(o Options) sim.Algorithm { return core.LeaderElect{RankBits: o.RankBits} },
+		},
+		{
+			Name:        "push-gossip",
+			Paper:       "§1.3 comparator",
+			Description: "push-only gossip: fails on low-conductance graphs (footnote 3)",
+			Model:       Model{Knowledge: sim.KT1, Bandwidth: sim.Congest},
+			Synchronous: true,
+			newSync:     func(o Options) sim.SyncAlgorithm { return core.PushGossip{Rounds: o.GossipRounds} },
+		},
+	}
+	m := make(map[string]AlgorithmInfo, len(infos))
+	for _, info := range infos {
+		m[info.Name] = info
+	}
+	return m
+}
+
+// Algorithms lists the registered algorithm names in sorted order.
+func Algorithms() []string {
+	reg := registry()
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the registry entry for an algorithm name.
+func Lookup(name string) (AlgorithmInfo, error) {
+	info, ok := registry()[name]
+	if !ok {
+		return AlgorithmInfo{}, fmt.Errorf("riseandshine: unknown algorithm %q (have %v)", name, Algorithms())
+	}
+	return info, nil
+}

@@ -1,0 +1,108 @@
+package riseandshine
+
+import (
+	"fmt"
+	"io"
+
+	"riseandshine/internal/graph"
+	"riseandshine/internal/sim"
+)
+
+// RunConfig describes one execution through the façade.
+type RunConfig struct {
+	// Graph is the network (required, connected).
+	Graph *Graph
+	// Algorithm is a registry name; see Algorithms().
+	Algorithm string
+	// Options carries per-algorithm parameters.
+	Options Options
+
+	// AwakeSet lists the node indices the adversary wakes at time zero.
+	// Leave nil to use Schedule instead; if both are nil, node 0 wakes.
+	AwakeSet []int
+	// Schedule overrides AwakeSet with an arbitrary adversarial schedule.
+	Schedule WakeScheduler
+	// Delays selects the delay adversary for asynchronous runs; nil means
+	// unit delays.
+	Delays Delayer
+
+	// Ports overrides the KT0 port mapping; nil selects identity ports.
+	// Use RandomPorts for the adversarial assignment.
+	Ports *PortMap
+	// Seed drives all node randomness.
+	Seed int64
+	// Model overrides the algorithm's default model when non-zero. The
+	// override may only strengthen knowledge or relax bandwidth.
+	Model Model
+	// StrictCongest fails the run if a message exceeds the CONGEST limit.
+	StrictCongest bool
+	// Trace, when non-nil, receives a CSV event trace (asynchronous
+	// algorithms only; ignored for synchronous ones).
+	Trace io.Writer
+}
+
+// Run executes the named algorithm, running its oracle first if the scheme
+// uses advice, and selecting the synchronous or asynchronous engine as the
+// algorithm requires.
+func Run(cfg RunConfig) (*Result, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("riseandshine: RunConfig.Graph is required")
+	}
+	info, err := Lookup(cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	schedule := cfg.Schedule
+	if schedule == nil {
+		awake := cfg.AwakeSet
+		if len(awake) == 0 {
+			awake = []int{0}
+		}
+		schedule = WakeSet{Nodes: awake}
+	}
+	model := info.Model
+	if cfg.Model != (Model{}) {
+		model = cfg.Model
+	}
+
+	ports := cfg.Ports
+	if ports == nil {
+		ports = graph.IdentityPorts(cfg.Graph)
+	}
+	var adviceBytes [][]byte
+	var adviceBits []int
+	if info.UsesAdvice {
+		oracle := info.newOracle(cfg.Graph.N(), cfg.Options)
+		adviceBytes, adviceBits, err = oracle.Advise(cfg.Graph, ports)
+		if err != nil {
+			return nil, fmt.Errorf("riseandshine: oracle %s: %w", oracle.Name(), err)
+		}
+	}
+
+	if info.Synchronous {
+		return sim.RunSync(sim.SyncConfig{
+			Graph:         cfg.Graph,
+			Ports:         ports,
+			Model:         model,
+			Schedule:      schedule,
+			Seed:          cfg.Seed,
+			Advice:        adviceBytes,
+			AdviceBits:    adviceBits,
+			StrictCongest: cfg.StrictCongest,
+		}, info.newSync(cfg.Options))
+	}
+	return sim.RunAsync(sim.Config{
+		Graph: cfg.Graph,
+		Ports: ports,
+		Model: model,
+		Adversary: sim.Adversary{
+			Schedule: schedule,
+			Delays:   cfg.Delays,
+		},
+		Seed:          cfg.Seed,
+		Advice:        adviceBytes,
+		AdviceBits:    adviceBits,
+		StrictCongest: cfg.StrictCongest,
+		Trace:         cfg.Trace,
+	}, info.newAsync(cfg.Options))
+}
