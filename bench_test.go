@@ -18,25 +18,35 @@ package riseandshine_test
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"riseandshine"
 	"riseandshine/internal/core"
+	"riseandshine/internal/experiment"
 	"riseandshine/internal/graph"
 	"riseandshine/internal/lowerbound"
 	"riseandshine/internal/sim"
 )
 
-// benchRun executes one configuration repeatedly and reports metrics.
-func benchRun(b *testing.B, cfg riseandshine.RunConfig) {
+// benchRun executes b.N runs of one configuration through the parallel
+// experiment Runner and reports metrics. Per-run seeds derive from the
+// (master seed, run index) pair, so the reported complexity metrics are
+// identical no matter how many workers execute the matrix.
+func benchRun(b *testing.B, spec experiment.RunSpec) {
 	b.Helper()
+	runner := experiment.Runner{MasterSeed: 1}
+	specs := make([]experiment.RunSpec, b.N)
+	for i := range specs {
+		specs[i] = spec
+	}
+	results, err := runner.Run(specs)
+	if err != nil {
+		b.Fatal(err)
+	}
 	var msgs, span, advMax float64
-	for i := 0; i < b.N; i++ {
-		cfg.Seed = int64(i)
-		res, err := riseandshine.Run(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
+	for _, rr := range results {
+		res := rr.Res
 		if !res.AllAwake {
 			b.Fatalf("only %d/%d nodes woke", res.AwakeCount, res.N)
 		}
@@ -63,11 +73,11 @@ func BenchmarkTable1(b *testing.B) {
 		for _, n := range benchSizes {
 			g := riseandshine.RandomConnected(n, 8.0/float64(n), int64(n))
 			b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-				benchRun(b, riseandshine.RunConfig{
-					Graph:     g,
+				benchRun(b, experiment.RunSpec{
+					G:         g,
 					Algorithm: "dfs-rank",
-					Schedule:  riseandshine.StaggeredWake{Sizes: []int{1, 2, 4, 8}, Gap: 64, Seed: 3},
-					Delays:    riseandshine.RandomDelay{Seed: 5},
+					Schedule:  "staggered:1,2,4,8:64",
+					Delays:    "random",
 				})
 			})
 		}
@@ -77,10 +87,10 @@ func BenchmarkTable1(b *testing.B) {
 		for _, n := range benchSizes {
 			g := riseandshine.RandomConnected(n, 64.0/float64(n), int64(n))
 			b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-				benchRun(b, riseandshine.RunConfig{
-					Graph:     g,
+				benchRun(b, experiment.RunSpec{
+					G:         g,
 					Algorithm: "fast-wakeup",
-					Schedule:  riseandshine.WakeAll{},
+					Schedule:  "all",
 				})
 			})
 		}
@@ -89,14 +99,12 @@ func BenchmarkTable1(b *testing.B) {
 	b.Run("Corollary1_FIP06", func(b *testing.B) {
 		for _, n := range benchSizes {
 			g := riseandshine.RandomConnected(n, 8.0/float64(n), int64(n))
-			ports := riseandshine.RandomPorts(g, int64(n))
 			b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-				benchRun(b, riseandshine.RunConfig{
-					Graph:     g,
-					Algorithm: "fip06",
-					AwakeSet:  []int{0},
-					Delays:    riseandshine.RandomDelay{Seed: 5},
-					Ports:     ports,
+				benchRun(b, experiment.RunSpec{
+					G:           g,
+					Algorithm:   "fip06",
+					Delays:      "random",
+					RandomPorts: true,
 				})
 			})
 		}
@@ -105,14 +113,12 @@ func BenchmarkTable1(b *testing.B) {
 	b.Run("Theorem5A_Threshold", func(b *testing.B) {
 		for _, n := range benchSizes {
 			g := riseandshine.RandomConnected(n, 8.0/float64(n), int64(n))
-			ports := riseandshine.RandomPorts(g, int64(n))
 			b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-				benchRun(b, riseandshine.RunConfig{
-					Graph:     g,
-					Algorithm: "threshold",
-					AwakeSet:  []int{0},
-					Delays:    riseandshine.RandomDelay{Seed: 5},
-					Ports:     ports,
+				benchRun(b, experiment.RunSpec{
+					G:           g,
+					Algorithm:   "threshold",
+					Delays:      "random",
+					RandomPorts: true,
 				})
 			})
 		}
@@ -121,14 +127,12 @@ func BenchmarkTable1(b *testing.B) {
 	b.Run("Theorem5B_CEN", func(b *testing.B) {
 		for _, n := range benchSizes {
 			g := riseandshine.RandomConnected(n, 8.0/float64(n), int64(n))
-			ports := riseandshine.RandomPorts(g, int64(n))
 			b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-				benchRun(b, riseandshine.RunConfig{
-					Graph:     g,
-					Algorithm: "cen",
-					AwakeSet:  []int{0},
-					Delays:    riseandshine.RandomDelay{Seed: 5},
-					Ports:     ports,
+				benchRun(b, experiment.RunSpec{
+					G:           g,
+					Algorithm:   "cen",
+					Delays:      "random",
+					RandomPorts: true,
 				})
 			})
 		}
@@ -138,15 +142,14 @@ func BenchmarkTable1(b *testing.B) {
 		for _, k := range []int{2, 3} {
 			for _, n := range benchSizes {
 				g := riseandshine.RandomConnected(n, 24.0/float64(n), int64(n))
-				ports := riseandshine.RandomPorts(g, int64(n))
 				b.Run(fmt.Sprintf("k=%d/n=%d", k, n), func(b *testing.B) {
-					benchRun(b, riseandshine.RunConfig{
-						Graph:     g,
-						Algorithm: "spanner",
-						Options:   riseandshine.Options{K: k},
-						Schedule:  riseandshine.RandomWake{Count: 4, Seed: 7},
-						Delays:    riseandshine.RandomDelay{Seed: 5},
-						Ports:     ports,
+					benchRun(b, experiment.RunSpec{
+						G:           g,
+						Algorithm:   "spanner",
+						K:           k,
+						Schedule:    "random:4",
+						Delays:      "random",
+						RandomPorts: true,
 					})
 				})
 			}
@@ -156,14 +159,13 @@ func BenchmarkTable1(b *testing.B) {
 	b.Run("Corollary2_SpannerLogN", func(b *testing.B) {
 		for _, n := range benchSizes {
 			g := riseandshine.RandomConnected(n, 24.0/float64(n), int64(n))
-			ports := riseandshine.RandomPorts(g, int64(n))
 			b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-				benchRun(b, riseandshine.RunConfig{
-					Graph:     g,
-					Algorithm: "spanner", // K=0 selects k=⌈log2 n⌉
-					Schedule:  riseandshine.RandomWake{Count: 4, Seed: 7},
-					Delays:    riseandshine.RandomDelay{Seed: 5},
-					Ports:     ports,
+				benchRun(b, experiment.RunSpec{
+					G:           g,
+					Algorithm:   "spanner", // K=0 selects k=⌈log2 n⌉
+					Schedule:    "random:4",
+					Delays:      "random",
+					RandomPorts: true,
 				})
 			})
 		}
@@ -173,11 +175,10 @@ func BenchmarkTable1(b *testing.B) {
 		for _, n := range benchSizes {
 			g := riseandshine.RandomConnected(n, 8.0/float64(n), int64(n))
 			b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-				benchRun(b, riseandshine.RunConfig{
-					Graph:     g,
+				benchRun(b, experiment.RunSpec{
+					G:         g,
 					Algorithm: "flood",
-					AwakeSet:  []int{0},
-					Delays:    riseandshine.RandomDelay{Seed: 5},
+					Delays:    "random",
 				})
 			})
 		}
@@ -409,6 +410,67 @@ func BenchmarkSubstrate(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkRunAsync measures raw asynchronous-engine throughput on the
+// three workloads used to validate the flat-array hot path: a dense
+// complete graph, a sparse random graph, and a regular torus. Every node
+// is woken at time zero and floods, so the event count is fixed per
+// topology and the benchmark isolates engine overhead (event heap,
+// per-edge FIFO bookkeeping, delay derivation).
+func BenchmarkRunAsync(b *testing.B) {
+	for _, spec := range []string{"complete:2000", "gnp:5000:0.01", "torus:64x64"} {
+		g, err := experiment.ParseGraph(spec, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(spec, func(b *testing.B) {
+			events := 0
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunAsync(sim.Config{
+					Graph: g,
+					Model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+					Adversary: sim.Adversary{
+						Schedule: sim.WakeAll{},
+						Delays:   sim.RandomDelay{Seed: int64(i)},
+					},
+					Seed: int64(i),
+				}, core.Flood{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkRunner measures harness scaling: a fixed 16-run matrix executed
+// at increasing worker counts. ns/op is the wall time of the full matrix;
+// the complexity metrics are identical across worker counts by
+// construction (seeds derive from the run index).
+func BenchmarkRunner(b *testing.B) {
+	specs := make([]experiment.RunSpec, 16)
+	for i := range specs {
+		specs[i] = experiment.RunSpec{
+			Graph:       "connected:512:0.02",
+			Algorithm:   "flood",
+			Schedule:    "random:4",
+			Delays:      "random",
+			RandomPorts: true,
+		}
+	}
+	for _, w := range []int{1, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			runner := experiment.Runner{Workers: w, MasterSeed: 1}
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run(specs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkEngine measures raw simulator throughput (events per second)

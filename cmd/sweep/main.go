@@ -2,6 +2,11 @@
 // and fits empirical growth exponents. It is the generic workhorse behind
 // the per-row experiments of cmd/table1.
 //
+// Runs fan out over a bounded worker pool (-workers, default NumCPU). Each
+// run derives its seed from the master seed and its position in the
+// (size × seed) matrix, so the output is byte-identical for any worker
+// count.
+//
 //	sweep -alg cen -graph connected:%d:0.01 -sizes 256,512,1024,2048 -schedule single
 package main
 
@@ -12,7 +17,6 @@ import (
 	"strconv"
 	"strings"
 
-	"riseandshine"
 	"riseandshine/internal/experiment"
 	"riseandshine/internal/stats"
 )
@@ -32,7 +36,9 @@ func run() error {
 		schedule = flag.String("schedule", "single", "wake schedule spec")
 		delays   = flag.String("delays", "random", "delay adversary: unit | random")
 		seeds    = flag.Int("seeds", 3, "seeds per size")
+		seed     = flag.Int64("seed", 1, "master seed; run i derives its seed from (seed, i)")
 		k        = flag.Int("k", 0, "spanner parameter")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
 		csvPath  = flag.String("csv", "", "write the sweep as CSV to this path (optional)")
 	)
 	flag.Parse()
@@ -46,38 +52,35 @@ func run() error {
 		sizes = append(sizes, v)
 	}
 
+	// One spec per (size, seed) cell, in deterministic matrix order.
+	var specs []experiment.RunSpec
+	for _, n := range sizes {
+		for s := 0; s < *seeds; s++ {
+			specs = append(specs, experiment.RunSpec{
+				Graph:       fmt.Sprintf(*graphT, n),
+				Algorithm:   *algName,
+				K:           *k,
+				Schedule:    *schedule,
+				Delays:      *delays,
+				RandomPorts: true,
+			})
+		}
+	}
+	runner := experiment.Runner{Workers: *workers, MasterSeed: *seed}
+	results, err := runner.Run(specs)
+	if err != nil {
+		return err
+	}
+
 	tbl := &experiment.Table{Header: []string{"n", "m", "time", "wake-span", "messages", "bits", "advice-max", "advice-avg"}}
 	var msgPts, timePts []stats.Point
-	for _, n := range sizes {
+	for i, n := range sizes {
 		var msgs, span, wspan, bits, ms, advMax, advAvg float64
 		for s := 0; s < *seeds; s++ {
-			seed := int64(31*n + s)
-			g, err := experiment.ParseGraph(fmt.Sprintf(*graphT, n), seed)
-			if err != nil {
-				return err
-			}
-			sched, err := experiment.ParseSchedule(*schedule, seed)
-			if err != nil {
-				return err
-			}
-			d, err := experiment.ParseDelays(*delays, seed)
-			if err != nil {
-				return err
-			}
-			res, err := riseandshine.Run(riseandshine.RunConfig{
-				Graph:     g,
-				Algorithm: *algName,
-				Options:   riseandshine.Options{K: *k},
-				Schedule:  sched,
-				Delays:    d,
-				Ports:     riseandshine.RandomPorts(g, seed),
-				Seed:      seed,
-			})
-			if err != nil {
-				return err
-			}
+			rr := results[i*(*seeds)+s]
+			res := rr.Res
 			if !res.AllAwake {
-				return fmt.Errorf("n=%d seed=%d: only %d/%d woke", n, seed, res.AwakeCount, res.N)
+				return fmt.Errorf("n=%d seed=%d: only %d/%d woke", n, rr.Seed, res.AwakeCount, res.N)
 			}
 			msgs += float64(res.Messages)
 			span += float64(res.Span)

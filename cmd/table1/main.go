@@ -6,6 +6,10 @@
 //
 // Absolute constants are implementation-specific; the reproduction targets
 // the growth shapes — see EXPERIMENTS.md for the recorded outcomes.
+//
+// Each row's (size × seed) matrix fans out over a bounded worker pool
+// (-workers, default NumCPU); per-run seeds derive from (master seed, run
+// index), so the output is byte-identical for any worker count.
 package main
 
 import (
@@ -14,7 +18,6 @@ import (
 	"math"
 	"os"
 
-	"riseandshine"
 	"riseandshine/internal/experiment"
 	"riseandshine/internal/stats"
 )
@@ -34,8 +37,10 @@ type rowSpec struct {
 
 func main() {
 	var (
-		seeds = flag.Int("seeds", 3, "number of seeds per configuration")
-		quick = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
+		seeds   = flag.Int("seeds", 3, "number of seeds per configuration")
+		seed    = flag.Int64("seed", 1, "master seed; run i derives its seed from (seed, i)")
+		workers = flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
+		quick   = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	)
 	flag.Parse()
 
@@ -97,63 +102,60 @@ func main() {
 		},
 	}
 
+	runner := experiment.Runner{Workers: *workers, MasterSeed: *seed}
 	for _, row := range rows {
-		if err := runRow(row, *seeds); err != nil {
+		if err := runRow(runner, row, *seeds); err != nil {
 			fmt.Fprintf(os.Stderr, "table1: %s: %v\n", row.paper, err)
 			os.Exit(1)
 		}
 	}
 }
 
-func runRow(row rowSpec, seeds int) error {
+func runRow(runner experiment.Runner, row rowSpec, seeds int) error {
 	fmt.Printf("== %s — algorithm %q on %s (schedule %s, delays %s) ==\n",
 		row.paper, row.name, row.graph, row.schedule, row.delays)
+
+	// One spec per (size, seed) cell, in deterministic matrix order.
+	var specs []experiment.RunSpec
+	for _, n := range row.sizes {
+		for s := 0; s < seeds; s++ {
+			specs = append(specs, experiment.RunSpec{
+				Graph:       fmt.Sprintf(row.graph, n),
+				Algorithm:   row.name,
+				K:           row.k,
+				Schedule:    row.schedule,
+				Delays:      row.delays,
+				RandomPorts: true,
+			})
+		}
+	}
+	results, err := runner.Run(specs)
+	if err != nil {
+		return err
+	}
+
 	tbl := &experiment.Table{Header: []string{
 		"n", "m", "rho", "D", "time", "msgs", "advice-max(b)", "advice-avg(b)",
 	}}
 	var msgPts, timePts, advPts []stats.Point
-	for _, n := range row.sizes {
+	for i, n := range row.sizes {
 		var msgs, span, advMax, advAvg, ms, rhos, diams float64
 		for s := 0; s < seeds; s++ {
-			seed := int64(1000*n + s)
-			spec := fmt.Sprintf(row.graph, n)
-			g, err := experiment.ParseGraph(spec, seed)
-			if err != nil {
-				return err
-			}
-			sched, err := experiment.ParseSchedule(row.schedule, seed)
-			if err != nil {
-				return err
-			}
-			delays, err := experiment.ParseDelays(row.delays, seed)
-			if err != nil {
-				return err
-			}
-			res, err := riseandshine.Run(riseandshine.RunConfig{
-				Graph:     g,
-				Algorithm: row.name,
-				Options:   riseandshine.Options{K: row.k},
-				Schedule:  sched,
-				Delays:    delays,
-				Ports:     riseandshine.RandomPorts(g, seed),
-				Seed:      seed,
-			})
-			if err != nil {
-				return err
-			}
+			rr := results[i*seeds+s]
+			res := rr.Res
 			if !res.AllAwake {
-				return fmt.Errorf("n=%d seed=%d: only %d/%d nodes woke", n, seed, res.AwakeCount, res.N)
+				return fmt.Errorf("n=%d seed=%d: only %d/%d nodes woke", n, rr.Seed, res.AwakeCount, res.N)
 			}
 			msgs += float64(res.Messages)
 			span += float64(res.Span)
 			advMax = math.Max(advMax, float64(res.AdviceMaxBits))
 			advAvg += res.AdviceAvgBits()
 			ms += float64(res.M)
-			diam, derr := g.Diameter()
+			diam, derr := rr.Graph.Diameter()
 			if derr == nil {
 				diams += float64(diam)
 			}
-			rhos += float64(g.AwakeDistance(res.AwakeSet()))
+			rhos += float64(rr.Graph.AwakeDistance(res.AwakeSet()))
 		}
 		f := float64(seeds)
 		tbl.Add(n, int(ms/f), rhos/f, int(diams/f), span/f, int(msgs/f), int(advMax), advAvg/f)

@@ -311,8 +311,10 @@ func (t *Table) Add(cells ...any) {
 }
 
 // WriteCSV writes the table as a CSV file, creating parent directories as
-// needed. Cells containing commas or quotes are quoted.
-func (t *Table) WriteCSV(path string) error {
+// needed. Cells containing commas or quotes are quoted. The error from
+// closing the file is reported: a full disk surfaces as a failure instead
+// of a silently truncated CSV.
+func (t *Table) WriteCSV(path string) (err error) {
 	if dir := filepath.Dir(path); dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("experiment: %w", err)
@@ -322,7 +324,11 @@ func (t *Table) WriteCSV(path string) error {
 	if err != nil {
 		return fmt.Errorf("experiment: %w", err)
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("experiment: %w", cerr)
+		}
+	}()
 	w := csv.NewWriter(f)
 	if err := w.Write(t.Header); err != nil {
 		return err

@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"riseandshine"
+	"riseandshine/internal/graph"
+	"riseandshine/internal/sim"
+)
+
+// RunSpec is one cell of an experiment matrix: a fully instantiated
+// graph/schedule/delay specification plus the algorithm to execute. The
+// seed is not part of the spec — the Runner derives it from the master
+// seed and the run's position in the matrix.
+type RunSpec struct {
+	// Graph is the graph spec (ParseGraph syntax); ignored when G is set.
+	Graph string
+	// G optionally supplies a pre-built topology. Graphs are immutable, so
+	// one instance may be shared by many concurrent runs.
+	G *graph.Graph
+	// Algorithm is the registry name; K its spanner parameter (0 = default).
+	Algorithm string
+	K         int
+	// Schedule is the wake schedule spec (ParseSchedule syntax); empty
+	// selects "single".
+	Schedule string
+	// Delays is the delay spec (ParseDelays syntax); empty selects "unit".
+	Delays string
+	// RandomPorts selects the adversarial random port assignment (seeded by
+	// the run seed); otherwise identity ports are used.
+	RandomPorts bool
+}
+
+// RunResult pairs one completed run with the seed it used and the graph it
+// ran on.
+type RunResult struct {
+	Seed  int64
+	Graph *graph.Graph
+	Res   *sim.Result
+}
+
+// Runner executes a slice of RunSpecs over a bounded worker pool.
+//
+// Determinism: run i always uses seed sim.RunSeed(MasterSeed, i), and
+// results are returned in input order, so the output is byte-identical for
+// any worker count — a parallel sweep aggregates to exactly the bytes the
+// sequential sweep produces.
+type Runner struct {
+	// Workers bounds the pool; <= 0 selects runtime.NumCPU().
+	Workers int
+	// MasterSeed is the root of all per-run seed derivation.
+	MasterSeed int64
+}
+
+// Run executes all specs and returns their results in input order. The
+// first error (by input position, not completion order) aborts the result;
+// remaining in-flight runs are still drained.
+func (r Runner) Run(specs []RunSpec) ([]RunResult, error) {
+	results := make([]RunResult, len(specs))
+	errs := make([]error, len(specs))
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				results[i], errs[i] = runOne(specs[i], sim.RunSeed(r.MasterSeed, i))
+			}
+		}()
+	}
+	for i := range specs {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiment: run %d (%s on %q): %w", i, specs[i].Algorithm, specs[i].Graph, err)
+		}
+	}
+	return results, nil
+}
+
+// runOne executes a single cell; it is also the sequential path (a Runner
+// with Workers == 1 calls exactly this, in order).
+func runOne(spec RunSpec, seed int64) (RunResult, error) {
+	g := spec.G
+	if g == nil {
+		var err error
+		if g, err = ParseGraph(spec.Graph, seed); err != nil {
+			return RunResult{}, err
+		}
+	}
+	schedSpec := spec.Schedule
+	if schedSpec == "" {
+		schedSpec = "single"
+	}
+	sched, err := ParseSchedule(schedSpec, seed)
+	if err != nil {
+		return RunResult{}, err
+	}
+	delays, err := ParseDelays(spec.Delays, seed)
+	if err != nil {
+		return RunResult{}, err
+	}
+	var ports *graph.PortMap
+	if spec.RandomPorts {
+		ports = riseandshine.RandomPorts(g, seed)
+	}
+	res, err := riseandshine.Run(riseandshine.RunConfig{
+		Graph:     g,
+		Algorithm: spec.Algorithm,
+		Options:   riseandshine.Options{K: spec.K},
+		Schedule:  sched,
+		Delays:    delays,
+		Ports:     ports,
+		Seed:      seed,
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{Seed: seed, Graph: g, Res: res}, nil
+}

@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"runtime"
+	"testing"
+
+	"riseandshine/internal/sim"
+)
+
+// testMatrix is a small (spec × algorithm) matrix exercising graph parsing,
+// random ports, random schedules, and advice schemes under the Runner.
+func testMatrix(seedsPer int) []RunSpec {
+	var specs []RunSpec
+	for _, cell := range []RunSpec{
+		{Graph: "complete:24", Algorithm: "flood", Delays: "random", RandomPorts: true},
+		{Graph: "connected:40:0.1", Algorithm: "cen", Delays: "random", RandomPorts: true},
+		{Graph: "grid:5x5", Algorithm: "dfs-rank", Schedule: "random:3", Delays: "random"},
+	} {
+		for s := 0; s < seedsPer; s++ {
+			specs = append(specs, cell)
+		}
+	}
+	return specs
+}
+
+// render aggregates results into the byte-exact table a CLI would print.
+func render(t *testing.T, results []RunResult) string {
+	t.Helper()
+	tbl := &Table{Header: []string{"seed", "n", "m", "msgs", "bits", "span", "wakespan"}}
+	for _, rr := range results {
+		res := rr.Res
+		if !res.AllAwake {
+			t.Fatalf("seed %d: only %d/%d nodes woke", rr.Seed, res.AwakeCount, res.N)
+		}
+		tbl.Add(rr.Seed, res.N, res.M, res.Messages, res.MessageBits,
+			float64(res.Span), float64(res.WakeSpan))
+	}
+	return tbl.String()
+}
+
+// TestRunnerDeterministicAcrossWorkers is the harness's core guarantee:
+// the aggregated output of a parallel sweep is byte-identical to the
+// sequential sweep for the same master seed, at every worker count.
+func TestRunnerDeterministicAcrossWorkers(t *testing.T) {
+	specs := testMatrix(3)
+	sequential := Runner{Workers: 1, MasterSeed: 42}
+	want, err := sequential.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOut := render(t, want)
+	for _, workers := range []int{2, 4, runtime.NumCPU()} {
+		parallel := Runner{Workers: workers, MasterSeed: 42}
+		got, err := parallel.Run(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotOut := render(t, got); gotOut != wantOut {
+			t.Errorf("workers=%d output differs from sequential:\n--- sequential\n%s--- parallel\n%s",
+				workers, wantOut, gotOut)
+		}
+	}
+}
+
+// TestRunnerSeedsDependOnlyOnIndex: the seed of run i is a pure function of
+// (master seed, i) — prepending specs shifts seeds, same index reproduces.
+func TestRunnerSeedsDependOnlyOnIndex(t *testing.T) {
+	specs := testMatrix(1)
+	r := Runner{Workers: 2, MasterSeed: 7}
+	a, err := r.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Seed != b[i].Seed {
+			t.Errorf("run %d: seed %d vs %d across invocations", i, a[i].Seed, b[i].Seed)
+		}
+		if a[i].Seed != sim.RunSeed(7, i) {
+			t.Errorf("run %d: seed %d, want RunSeed(7,%d)=%d", i, a[i].Seed, i, sim.RunSeed(7, i))
+		}
+	}
+	other := Runner{Workers: 2, MasterSeed: 8}
+	c, err := other.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0].Seed == a[0].Seed {
+		t.Error("different master seeds produced the same run seed")
+	}
+}
+
+// TestRunnerPrebuiltGraph: a shared immutable graph is reused by every run
+// instead of being re-parsed.
+func TestRunnerPrebuiltGraph(t *testing.T) {
+	g, err := ParseGraph("cycle:12", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []RunSpec{
+		{G: g, Algorithm: "flood"},
+		{G: g, Algorithm: "flood"},
+	}
+	results, err := Runner{Workers: 2, MasterSeed: 1}.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rr := range results {
+		if rr.Graph != g {
+			t.Errorf("run %d: graph was rebuilt instead of shared", i)
+		}
+		if !rr.Res.AllAwake {
+			t.Errorf("run %d: not all awake", i)
+		}
+	}
+}
+
+// TestRunnerErrorIsDeterministic: the reported error is the first failing
+// run by input position, not by completion order.
+func TestRunnerErrorIsDeterministic(t *testing.T) {
+	specs := []RunSpec{
+		{Graph: "cycle:8", Algorithm: "flood"},
+		{Graph: "cycle:8", Algorithm: "no-such-algorithm"},
+		{Graph: "bad-spec", Algorithm: "flood"},
+	}
+	var msgs []string
+	for _, workers := range []int{1, 3} {
+		_, err := Runner{Workers: workers, MasterSeed: 1}.Run(specs)
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	if msgs[0] != msgs[1] {
+		t.Errorf("error depends on worker count: %q vs %q", msgs[0], msgs[1])
+	}
+}

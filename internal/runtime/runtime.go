@@ -109,7 +109,7 @@ func (c nodeCtx) SendToID(id graph.NodeID, m sim.Message) {
 	}
 	to := e.g.IndexOf(id)
 	if to == -1 || !e.g.HasEdge(c.n.index, to) {
-		panic(fmt.Sprintf("runtime: node %d has no neighbor with ID %d", e.g.ID(c.n.index), id))
+		panic(fmt.Sprintf("runtime: node ID %d has no neighbor with ID %d", e.g.ID(c.n.index), id))
 	}
 	c.Send(e.pm.PortTo(c.n.index, to), m)
 }
@@ -199,10 +199,12 @@ func Run(cfg Config, alg sim.Algorithm) (*Result, error) {
 	}
 	for v := 0; v < g.N(); v++ {
 		e.nodes[v] = &node{
-			eng:    e,
-			index:  v,
-			info:   infoFor(g, pm, cfg, v),
-			rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(v)*0x9e3779b9)),
+			eng:   e,
+			index: v,
+			info:  infoFor(g, pm, cfg, v),
+			// Use the sim engine's derivation so a node sees the same
+			// random stream under both engines for the same seed.
+			rng:    sim.NodeRand(cfg.Seed, v),
 			signal: make(chan struct{}, 1),
 		}
 	}

@@ -91,17 +91,22 @@ type asyncEngine struct {
 	machines []Program
 	rands    []*rand.Rand
 	infos    []NodeInfo
-	fifoLast map[int64]Time // directed edge key -> last delivery time
-	edgeSeq  map[int64]int  // directed edge key -> messages sent so far
-	portUsed [][]bool
-	digests  []uint64
-	trace    *tracer
-	limit    int // CONGEST bit limit (0 = none)
-	res      Result
-	firstSet bool
-	first    Time
-	lastWake Time
-	err      error
+	// Per-directed-edge state, indexed CSR-style: the out-edge of node v
+	// addressed by port p lives at flat index edgeStart[v]+p-1. Ports are
+	// per-node bijections onto the neighbor set and fixed for the run, so
+	// (node, port) identifies a directed edge without any map lookup.
+	edgeStart []int32
+	fifoLast  []Time  // last scheduled delivery time (zero value never clamps: delivery times are > 0)
+	edgeSeq   []int32 // messages sent so far on the edge
+	portUsed  [][]bool
+	digests   []uint64
+	trace     *tracer
+	limit     int // CONGEST bit limit (0 = none)
+	res       Result
+	firstSet  bool
+	first     Time
+	lastWake  Time
+	err       error
 }
 
 // asyncCtx is the Context handed to machine handlers; it is bound to the
@@ -132,8 +137,6 @@ func (c asyncCtx) Broadcast(m Message) {
 		c.e.send(c.node, p, m)
 	}
 }
-
-func edgeKey(from, to int) int64 { return int64(from)<<32 | int64(uint32(to)) }
 
 // RunAsync executes alg on the configured network until the event queue is
 // exhausted and returns the collected metrics.
@@ -176,10 +179,24 @@ func RunAsync(cfg Config, alg Algorithm) (*Result, error) {
 		machines: make([]Program, n),
 		rands:    make([]*rand.Rand, n),
 		infos:    make([]NodeInfo, n),
-		fifoLast: make(map[int64]Time),
-		edgeSeq:  make(map[int64]int),
 		limit:    cfg.Model.congestLimit(n),
 	}
+	// CSR-style directed-edge index, built once: prefix sums of degrees.
+	e.edgeStart = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		e.edgeStart[v+1] = e.edgeStart[v] + int32(g.Degree(v))
+	}
+	dir := e.edgeStart[n] // = 2·M()
+	e.fifoLast = make([]Time, dir)
+	e.edgeSeq = make([]int32, dir)
+	// Pre-size the event heap: enough for the schedule plus a generous
+	// in-flight message buffer, capped so dense graphs don't over-allocate
+	// (the slice still grows on demand).
+	capacity := n + 2*g.M()
+	if capacity > 1<<16 {
+		capacity = 1 << 16
+	}
+	e.queue = make(eventQueue, 0, capacity)
 	e.res = Result{
 		Algorithm:  alg.Name(),
 		N:          n,
@@ -279,7 +296,7 @@ func (e *asyncEngine) wake(v int) {
 		e.lastWake = e.now
 	}
 	if e.rands[v] == nil {
-		e.rands[v] = nodeRand(e.cfg.Seed, v)
+		e.rands[v] = NodeRand(e.cfg.Seed, v)
 	}
 	e.trace.wake(e.now, v, e.advWoken[v])
 	e.machines[v] = e.alg.NewMachine(e.infos[v])
@@ -331,19 +348,19 @@ func (e *asyncEngine) send(from, port int, m Message) {
 		e.portUsed[from][port-1] = true
 	}
 
-	key := edgeKey(from, to)
-	k := e.edgeSeq[key]
-	e.edgeSeq[key] = k + 1
+	ei := e.edgeStart[from] + int32(port) - 1
+	k := int(e.edgeSeq[ei])
+	e.edgeSeq[ei]++
 	delay := e.delays.Delay(from, to, k, e.now)
 	if delay <= 0 || delay > 1 {
 		e.err = fmt.Errorf("sim: delayer returned %v outside (0,1]", delay)
 		return
 	}
 	at := e.now + Time(delay)
-	if last, ok := e.fifoLast[key]; ok && at < last {
+	if last := e.fifoLast[ei]; at < last {
 		at = last // enforce per-edge FIFO delivery
 	}
-	e.fifoLast[key] = at
+	e.fifoLast[ei] = at
 
 	from64 := graph.NodeID(-1)
 	if e.cfg.Model.Knowledge == KT1 {
@@ -369,7 +386,7 @@ func (e *asyncEngine) sendToID(from int, id graph.NodeID, m Message) {
 	}
 	to := e.g.IndexOf(id)
 	if to == -1 || !e.g.HasEdge(from, to) {
-		e.err = fmt.Errorf("sim: node %d (ID %d) has no neighbor with ID %d", from, e.g.ID(from), id)
+		e.err = fmt.Errorf("sim: node ID %d has no neighbor with ID %d", e.g.ID(from), id)
 		return
 	}
 	e.send(from, e.pm.PortTo(from, to), m)

@@ -26,12 +26,23 @@ const (
 	streamDelay
 	streamWake
 	streamPorts
+	streamRun
 )
 
-// nodeRand returns the private randomness source for node v under the given
-// run seed.
-func nodeRand(seed int64, v int) *rand.Rand {
+// NodeRand returns the private randomness source for node v under the given
+// run seed. It is the single derivation rule shared by every engine (the
+// deterministic simulators and the concurrent runtime), so a node observes
+// the same random stream regardless of which engine executes it.
+func NodeRand(seed int64, v int) *rand.Rand {
 	return rand.New(rand.NewSource(deriveSeed(seed, streamNodeRand, uint64(v))))
+}
+
+// RunSeed derives the seed of the index-th run of an experiment matrix from
+// a master seed. Because the derivation depends only on (master, index),
+// runs may execute in any order — or concurrently — and still reproduce the
+// exact sequential results.
+func RunSeed(master int64, index int) int64 {
+	return deriveSeed(master, streamRun, uint64(index))
 }
 
 // hashUnit maps (seed, a, b, k) deterministically to a float64 in (0, 1].

@@ -293,7 +293,7 @@ func (e *syncEngine) wakeNode(v int) {
 	e.res.AwakeCount++
 	e.res.WakeAt[v] = Time(e.round)
 	if e.rands[v] == nil {
-		e.rands[v] = nodeRand(e.cfg.Seed, v)
+		e.rands[v] = NodeRand(e.cfg.Seed, v)
 	}
 	e.machines[v] = e.newMachineFn(e.infos[v])
 	e.machines[v].OnWake(syncCtx{e: e, node: v})
@@ -345,7 +345,7 @@ func (e *syncEngine) sendToID(from int, id graph.NodeID, m Message) {
 	}
 	to := e.g.IndexOf(id)
 	if to == -1 || !e.g.HasEdge(from, to) {
-		e.err = fmt.Errorf("sim: node %d (ID %d) has no neighbor with ID %d", from, e.g.ID(from), id)
+		e.err = fmt.Errorf("sim: node ID %d has no neighbor with ID %d", e.g.ID(from), id)
 		return
 	}
 	e.send(from, e.pm.PortTo(from, to), m)
