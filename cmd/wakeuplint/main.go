@@ -1,0 +1,278 @@
+// Command wakeuplint runs the repo's determinism and CONGEST analyzers
+// (detrand, maporder, congestmsg) over the simulator's deterministic
+// packages.
+//
+// It supports two modes:
+//
+//   - Standalone: `wakeuplint [packages]` (default ./...) loads packages
+//     via `go list -export`, analyzes the ones inside the deterministic
+//     set, prints file:line:col diagnostics, and exits 1 if any were
+//     reported.
+//
+//   - Vettool: `go vet -vettool=$(which wakeuplint) ./...`. The go
+//     command drives the tool through the unitchecker protocol — a
+//     `-flags` probe, a `-V=full` version stamp for build caching, then
+//     one JSON .cfg file per package carrying file lists and compiled
+//     export data for every import. Diagnostics exit 2, matching vet.
+//
+// Packages outside the deterministic set (examples/, cmd/, tools/, the
+// registry root) are ignored in both modes: the determinism contract
+// binds the simulator core, not demo or tooling code.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"riseandshine/tools/analyzers/analysis"
+	"riseandshine/tools/analyzers/congestmsg"
+	"riseandshine/tools/analyzers/detrand"
+	"riseandshine/tools/analyzers/load"
+	"riseandshine/tools/analyzers/maporder"
+)
+
+// analyzers is the wakeuplint suite, applied in order.
+var analyzers = []*analysis.Analyzer{
+	detrand.Analyzer,
+	maporder.Analyzer,
+	congestmsg.Analyzer,
+}
+
+// deterministicPrefixes lists the import paths bound by the determinism
+// contract; subpackages inherit it.
+var deterministicPrefixes = []string{
+	"riseandshine/internal/sim",
+	"riseandshine/internal/core",
+	"riseandshine/internal/runtime",
+	"riseandshine/internal/experiment",
+	"riseandshine/internal/graph",
+}
+
+// relevant reports whether a package import path is inside the
+// deterministic set. Vet hands test variants as "path [path.test]"; the
+// variant analyzes the same non-test files plus test files, which the
+// analyzers themselves exempt.
+func relevant(importPath string) bool {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	for _, p := range deterministicPrefixes {
+		if importPath == p || strings.HasPrefix(importPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-flags":
+		// The go command probes for tool-specific flags; we define none.
+		fmt.Println("[]")
+	case len(args) >= 1 && strings.HasPrefix(args[0], "-V"):
+		printVersion()
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(vetMode(args[0]))
+	default:
+		os.Exit(standalone(args))
+	}
+}
+
+// printVersion emits the version line the go command fingerprints for
+// build caching: the name plus a content hash of the executable, so
+// rebuilding the tool invalidates cached vet results.
+func printVersion() {
+	h := sha256.New()
+	if f, err := os.Open(os.Args[0]); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel buildID=%x\n", filepath.Base(os.Args[0]), h.Sum(nil))
+}
+
+// diag is one rendered diagnostic.
+type diag struct {
+	pos token.Position
+	msg string
+}
+
+// runAnalyzers applies the suite to one type-checked package.
+func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []diag {
+	var out []diag
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				out = append(out, diag{pos: fset.Position(d.Pos), msg: d.Message})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "wakeuplint: %s: %v\n", a.Name, err)
+			os.Exit(1)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		return a.pos.Column < b.pos.Column
+	})
+	return out
+}
+
+// standalone analyzes the packages matched by the given patterns
+// (default ./...) relative to the current directory.
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wakeuplint: %v\n", err)
+		return 1
+	}
+	pkgs, err := load.Packages(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wakeuplint: %v\n", err)
+		return 1
+	}
+	found := 0
+	for _, p := range pkgs {
+		if !relevant(p.ImportPath) {
+			continue
+		}
+		if len(p.TypeErrors) > 0 {
+			fmt.Fprintf(os.Stderr, "wakeuplint: %s: %v\n", p.ImportPath, p.TypeErrors[0])
+			return 1
+		}
+		for _, d := range runAnalyzers(p.Fset, p.Files, p.Types, p.TypesInfo) {
+			fmt.Printf("%s: %s\n", d.pos, d.msg)
+			found++
+		}
+	}
+	if found > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig mirrors the subset of the go command's vet.cfg JSON the tool
+// consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+	// Standard is the set of standard-library import paths.
+	Standard map[string]bool
+}
+
+// vetMode handles one unitchecker invocation: read the cfg, always write
+// the (empty — wakeuplint exports no facts) .vetx output the go command
+// insists on, then analyze the package if it is in the deterministic set.
+func vetMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wakeuplint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "wakeuplint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "wakeuplint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || cfg.Standard[cfg.ImportPath] || !relevant(cfg.ImportPath) {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "wakeuplint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	// Resolve imports through the compiled export data the go command
+	// already built: ImportMap canonicalizes source import paths,
+	// PackageFile locates each canonical package's export file.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var softErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, cfg.Compiler, lookup),
+		Error:    func(err error) { softErrs = append(softErrs, err) },
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if pkg == nil || len(softErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		if err == nil && len(softErrs) > 0 {
+			err = softErrs[0]
+		}
+		fmt.Fprintf(os.Stderr, "wakeuplint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags := runAnalyzers(fset, files, pkg, info)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.pos, d.msg)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

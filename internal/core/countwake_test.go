@@ -43,13 +43,18 @@ func runCounting(t *testing.T, g *graph.Graph, sched sim.WakeScheduler, delays s
 // network exactly.
 func TestCountingWakeSingleInitiatorLearnsN(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	for name, g := range map[string]*graph.Graph{
-		"path":  graph.Path(25),
-		"star":  graph.Star(40),
-		"grid":  graph.Grid(7, 7),
-		"gnp":   graph.RandomConnected(120, 0.05, rng),
-		"wheel": graph.Wheel(30),
-	} {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", graph.Path(25)},
+		{"star", graph.Star(40)},
+		{"grid", graph.Grid(7, 7)},
+		{"gnp", graph.RandomConnected(120, 0.05, rng)},
+		{"wheel", graph.Wheel(30)},
+	}
+	for _, tg := range graphs {
+		name, g := tg.name, tg.g
 		for seed := int64(0); seed < 3; seed++ {
 			reports, res := runCounting(t, g, sim.WakeSingle(0), sim.RandomDelay{Seed: seed}, seed)
 			if !res.AllAwake {

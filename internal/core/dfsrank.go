@@ -49,6 +49,8 @@ func (a DFSRank) NewMachine(info sim.NodeInfo) sim.Program {
 
 // dfsToken is the traversal token. Ownership is handed off on send: the
 // sender keeps no reference, so the slices can be extended in place.
+//
+// congest: exempt — LOCAL-model token; Bits() meters the carried ID lists.
 type dfsToken struct {
 	Rank    uint64
 	Origin  graph.NodeID

@@ -65,6 +65,7 @@ type fwL1Invite struct {
 
 func (m fwL1Invite) Bits() int { return tagBits + m.W }
 
+// congest: exempt — LOCAL-model report; Bits() meters the neighbor set.
 type fwL1Report struct {
 	Root      graph.NodeID
 	Neighbors []graph.NodeID
@@ -73,6 +74,7 @@ type fwL1Report struct {
 
 func (m fwL1Report) Bits() int { return tagBits + m.W + idSetBits(m.Neighbors, m.W) }
 
+// congest: exempt — LOCAL-model assignment; Bits() meters the child set.
 type fwS2Assign struct {
 	Root     graph.NodeID
 	Children []graph.NodeID
@@ -88,6 +90,7 @@ type fwL2Invite struct {
 
 func (m fwL2Invite) Bits() int { return tagBits + m.W }
 
+// congest: exempt — LOCAL-model report; Bits() meters the neighbor set.
 type fwL2Report struct {
 	Root      graph.NodeID
 	Neighbors []graph.NodeID
@@ -101,6 +104,7 @@ type fwChildReport struct {
 	Neighbors []graph.NodeID
 }
 
+// congest: exempt — LOCAL-model batch; Bits() sums the nested reports.
 type fwL2Batch struct {
 	Root    graph.NodeID
 	Reports []fwChildReport
@@ -120,6 +124,7 @@ type fwL3Entry struct {
 	Grandchildren []graph.NodeID
 }
 
+// congest: exempt — LOCAL-model assignment; Bits() sums the entry lists.
 type fwS3Assign struct {
 	Root    graph.NodeID
 	Entries []fwL3Entry
@@ -134,6 +139,7 @@ func (m fwS3Assign) Bits() int {
 	return bits
 }
 
+// congest: exempt — LOCAL-model leaf assignment; Bits() meters the child set.
 type fwS3Leaf struct {
 	Root     graph.NodeID
 	Children []graph.NodeID
@@ -323,6 +329,7 @@ func (m *fwMachine) assignLevel2(ctx sim.Context, reports []fwChildReport, w int
 		}
 	}
 	perParent := make(map[graph.NodeID][]graph.NodeID)
+	//lint:maporder-ok every perParent bucket is sortIDs-ed before sending
 	for child, parent := range rs.l2Parent {
 		rs.l2Set[child] = true
 		perParent[parent] = append(perParent[parent], child)
@@ -354,6 +361,7 @@ func (m *fwMachine) assignLevel3(ctx sim.Context, reports []fwChildReport, w int
 	// Group grandchildren by their level-2 parent, then by that parent's
 	// level-1 parent for routing.
 	perL2 := make(map[graph.NodeID][]graph.NodeID)
+	//lint:maporder-ok every perL2 bucket is sortIDs-ed before use
 	for gc, l2 := range l3Parent {
 		perL2[l2] = append(perL2[l2], gc)
 	}

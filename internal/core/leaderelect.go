@@ -45,6 +45,8 @@ func (a LeaderElect) NewMachine(info sim.NodeInfo) sim.Program {
 
 // leaderToken extends the DFS token with parent pointers so that the
 // completed traversal doubles as a broadcast tree.
+//
+// congest: exempt — LOCAL-model token; Bits() meters the carried ID lists.
 type leaderToken struct {
 	Rank    uint64
 	Origin  graph.NodeID
@@ -60,6 +62,8 @@ func (t *leaderToken) Bits() int {
 }
 
 // leaderAnnounce carries the elected leader and the DFS tree downward.
+//
+// congest: exempt — LOCAL-model broadcast; Bits() meters the tree arrays.
 type leaderAnnounce struct {
 	Leader  graph.NodeID
 	Visited []graph.NodeID

@@ -11,56 +11,77 @@ import (
 	"riseandshine/internal/sim"
 )
 
+// namedGraph pairs a test graph with its subtest name; tables are ordered
+// slices so that subtests enumerate in a fixed order on every run.
+type namedGraph struct {
+	name string
+	g    *graph.Graph
+}
+
 // testGraphs returns a small zoo of connected graphs exercising different
 // degree profiles and diameters.
-func testGraphs(t *testing.T) map[string]*graph.Graph {
+func testGraphs(t *testing.T) []namedGraph {
 	t.Helper()
 	rng := rand.New(rand.NewSource(7))
-	return map[string]*graph.Graph{
-		"path50":     graph.Path(50),
-		"cycle31":    graph.Cycle(31),
-		"star40":     graph.Star(40),
-		"grid8x8":    graph.Grid(8, 8),
-		"complete20": graph.Complete(20),
-		"tree100":    graph.RandomTree(100, rng),
-		"gnp100":     graph.RandomConnected(100, 0.05, rng),
-		"lollipop":   graph.Lollipop(20, 5),
-		"binary127":  graph.BinaryTree(127),
+	return []namedGraph{
+		{"path50", graph.Path(50)},
+		{"cycle31", graph.Cycle(31)},
+		{"star40", graph.Star(40)},
+		{"grid8x8", graph.Grid(8, 8)},
+		{"complete20", graph.Complete(20)},
+		{"tree100", graph.RandomTree(100, rng)},
+		{"gnp100", graph.RandomConnected(100, 0.05, rng)},
+		{"lollipop", graph.Lollipop(20, 5)},
+		{"binary127", graph.BinaryTree(127)},
 	}
 }
 
-func schedules(g *graph.Graph) map[string]sim.WakeScheduler {
-	return map[string]sim.WakeScheduler{
-		"single": sim.WakeSingle(0),
-		"all":    sim.WakeAll{},
-		"random": sim.RandomWake{Count: 3, Window: 5, Seed: 11},
+type namedSchedule struct {
+	name  string
+	sched sim.WakeScheduler
+}
+
+func schedules(g *graph.Graph) []namedSchedule {
+	return []namedSchedule{
+		{"single", sim.WakeSingle(0)},
+		{"all", sim.WakeAll{}},
+		{"random", sim.RandomWake{Count: 3, Window: 5, Seed: 11}},
 	}
 }
 
 func TestAsyncAlgorithmsWakeEveryone(t *testing.T) {
-	algs := map[string]struct {
+	algs := []struct {
+		name   string
 		alg    sim.Algorithm
 		model  sim.Model
 		oracle advice.Oracle
 	}{
-		"flood":     {alg: core.Flood{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}},
-		"dfs-rank":  {alg: core.DFSRank{}, model: sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local}},
-		"fip06":     {alg: core.FIP06{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, oracle: core.FIP06Oracle{}},
-		"threshold": {alg: core.Threshold{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, oracle: core.ThresholdOracle{}},
-		"cen":       {alg: core.CEN{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, oracle: core.CENOracle{}},
-		"spanner2":  {alg: core.SpannerScheme{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, oracle: core.SpannerOracle{K: 2}},
-		"echo":      {alg: core.EchoFlood{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}},
-		"count":     {alg: core.CountingWake{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}},
-		"cdfs":      {alg: core.CongestDFS{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}},
-		"leader":    {alg: core.LeaderElect{}, model: sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local}},
+		{name: "flood", alg: core.Flood{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}},
+		{name: "dfs-rank", alg: core.DFSRank{}, model: sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local}},
+		{name: "fip06", alg: core.FIP06{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, oracle: core.FIP06Oracle{}},
+		{name: "threshold", alg: core.Threshold{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, oracle: core.ThresholdOracle{}},
+		{name: "cen", alg: core.CEN{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, oracle: core.CENOracle{}},
+		{name: "spanner2", alg: core.SpannerScheme{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}, oracle: core.SpannerOracle{K: 2}},
+		{name: "echo", alg: core.EchoFlood{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}},
+		{name: "count", alg: core.CountingWake{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}},
+		{name: "cdfs", alg: core.CongestDFS{}, model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}},
+		{name: "leader", alg: core.LeaderElect{}, model: sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local}},
 	}
-	for gname, g := range testGraphs(t) {
-		for aname, tc := range algs {
-			for sname, sched := range schedules(g) {
-				for dname, delay := range map[string]sim.Delayer{
-					"unit":   sim.UnitDelay{},
-					"random": sim.RandomDelay{Seed: 3},
-				} {
+	delayers := []struct {
+		name  string
+		delay sim.Delayer
+	}{
+		{"unit", sim.UnitDelay{}},
+		{"random", sim.RandomDelay{Seed: 3}},
+	}
+	for _, tg := range testGraphs(t) {
+		gname, g := tg.name, tg.g
+		for _, tc := range algs {
+			aname := tc.name
+			for _, ts := range schedules(g) {
+				sname, sched := ts.name, ts.sched
+				for _, td := range delayers {
+					dname, delay := td.name, td.delay
 					name := gname + "/" + aname + "/" + sname + "/" + dname
 					t.Run(name, func(t *testing.T) {
 						pm := graph.RandomPorts(g, rand.New(rand.NewSource(5)))
@@ -97,16 +118,20 @@ func TestAsyncAlgorithmsWakeEveryone(t *testing.T) {
 }
 
 func TestSyncAlgorithmsWakeEveryone(t *testing.T) {
-	algs := map[string]struct {
+	algs := []struct {
+		name  string
 		alg   sim.SyncAlgorithm
 		model sim.Model
 	}{
-		"flood-sync":  {alg: sim.AsSync(core.Flood{}), model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}},
-		"fast-wakeup": {alg: core.FastWakeUp{}, model: sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local}},
+		{name: "flood-sync", alg: sim.AsSync(core.Flood{}), model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}},
+		{name: "fast-wakeup", alg: core.FastWakeUp{}, model: sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local}},
 	}
-	for gname, g := range testGraphs(t) {
-		for aname, tc := range algs {
-			for sname, sched := range schedules(g) {
+	for _, tg := range testGraphs(t) {
+		gname, g := tg.name, tg.g
+		for _, tc := range algs {
+			aname := tc.name
+			for _, ts := range schedules(g) {
+				sname, sched := ts.name, ts.sched
 				name := gname + "/" + aname + "/" + sname
 				t.Run(name, func(t *testing.T) {
 					res, err := sim.RunSync(sim.SyncConfig{
@@ -131,11 +156,12 @@ func TestSyncAlgorithmsWakeEveryone(t *testing.T) {
 // wake-up completes within a constant factor of the awake distance.
 func TestFastWakeUpRhoAwkTime(t *testing.T) {
 	rng := rand.New(rand.NewSource(123))
-	for name, g := range map[string]*graph.Graph{
-		"grid":  graph.Grid(12, 12),
-		"gnp":   graph.RandomConnected(150, 0.03, rng),
-		"cycle": graph.Cycle(60),
+	for _, tg := range []namedGraph{
+		{"grid", graph.Grid(12, 12)},
+		{"gnp", graph.RandomConnected(150, 0.03, rng)},
+		{"cycle", graph.Cycle(60)},
 	} {
+		name, g := tg.name, tg.g
 		t.Run(name, func(t *testing.T) {
 			sched := sim.WakeSingle(0)
 			rho := g.AwakeDistance([]int{0})

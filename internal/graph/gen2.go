@@ -91,12 +91,19 @@ func PreferentialAttachment(n, m int, rng *rand.Rand) *Graph {
 		}
 	}
 	for v := m + 1; v < n; v++ {
+		// Track picks in draw order: iterating the dedup map instead would
+		// append endpoints in map order, and since later draws sample from
+		// endpoints, two same-seed runs could diverge.
 		chosen := make(map[int32]bool, m)
-		for len(chosen) < m {
+		picked := make([]int32, 0, m)
+		for len(picked) < m {
 			t := endpoints[rng.Intn(len(endpoints))]
-			chosen[t] = true
+			if !chosen[t] {
+				chosen[t] = true
+				picked = append(picked, t)
+			}
 		}
-		for t := range chosen {
+		for _, t := range picked {
 			b.AddEdge(v, int(t))
 			endpoints = append(endpoints, int32(v), t)
 		}

@@ -150,3 +150,23 @@ func TestRandomRegularProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPreferentialAttachmentSameSeedIdentical guards the determinism fix
+// in the attachment loop: picks used to be replayed in map iteration
+// order, which perturbed the endpoint pool and let same-seed builds
+// diverge. Two builds from equal seeds must now produce identical edge
+// lists.
+func TestPreferentialAttachmentSameSeedIdentical(t *testing.T) {
+	build := func() *Graph {
+		return PreferentialAttachment(300, 3, rand.New(rand.NewSource(77)))
+	}
+	e1, e2 := build().Edges(), build().Edges()
+	if len(e1) != len(e2) {
+		t.Fatalf("edge counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}

@@ -103,11 +103,18 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		for v := range full {
 			full[v] = NodeID(v)
 		}
-		for v, id := range ids {
+		// Visit assignments in sorted node order so that an error (and the
+		// SetIDs argument construction) is the same on every run.
+		nodes := make([]int, 0, len(ids))
+		for v := range ids {
+			nodes = append(nodes, v)
+		}
+		sort.Ints(nodes)
+		for _, v := range nodes {
 			if v < 0 || v >= n {
 				return nil, fmt.Errorf("graph: id assignment for out-of-range node %d", v)
 			}
-			full[v] = id
+			full[v] = ids[v]
 		}
 		if err := g.SetIDs(full); err != nil {
 			return nil, err

@@ -162,6 +162,7 @@ func RunSync(cfg SyncConfig, alg SyncAlgorithm) (*Result, error) {
 			firstWakeRound = r
 		}
 	}
+	//lint:maporder-ok sorts each bucket in place; no state crosses buckets
 	for _, nodes := range wakeByRound {
 		sort.Ints(nodes)
 	}

@@ -1,0 +1,60 @@
+// Package analysis is a minimal, dependency-free subset of the
+// golang.org/x/tools/go/analysis API. The wakeuplint analyzers target the
+// same shape as upstream passes (an Analyzer with a Run function over a
+// Pass) so that they could be ported to the real framework by changing an
+// import path, but this repo vendors the ~100 lines it actually needs:
+// the build environment is offline and the module must remain free of
+// external dependencies.
+//
+// Facts, SSA, and result propagation between analyzers are deliberately
+// omitted — the wakeuplint suite is purely syntactic + type-informed and
+// every analyzer is independent.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flag names.
+	Name string
+	// Doc is the help text.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass provides one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. Drivers install it.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TestFile reports whether the file containing pos is a _test.go file.
+// The wakeuplint determinism contracts bind non-test code only: tests may
+// freely use maps, wall-clock time, and ad-hoc randomness.
+func (p *Pass) TestFile(pos token.Pos) bool {
+	name := p.Fset.Position(pos).Filename
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}

@@ -1,0 +1,162 @@
+// Package analysistest runs a wakeuplint analyzer over testdata packages
+// and checks its diagnostics against `// want "regexp"` comments, the same
+// convention as golang.org/x/tools/go/analysis/analysistest: a flagged
+// line carries a trailing comment with one quoted regular expression per
+// expected diagnostic, and every diagnostic must be expected.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"riseandshine/tools/analyzers/analysis"
+	"riseandshine/tools/analyzers/load"
+)
+
+// expectation is one want-regexp at a file line.
+type expectation struct {
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// key addresses a line of a testdata file.
+type key struct {
+	file string
+	line int
+}
+
+var wantRe = regexp.MustCompile(`(?://|/\*)\s*want\s+(.*)`)
+
+// parseWants extracts expectations from every comment in the package.
+func parseWants(t *testing.T, pkg *load.Package) map[key][]*expectation {
+	t.Helper()
+	wants := make(map[key][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{file: filepath.Base(pos.Filename), line: pos.Line}
+				rest := strings.TrimSuffix(strings.TrimSpace(m[1]), "*/")
+				for rest != "" {
+					rest = strings.TrimSpace(rest)
+					if rest == "" {
+						break
+					}
+					if rest[0] != '"' && rest[0] != '`' {
+						t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+					}
+					lit, remainder, err := splitQuoted(rest)
+					if err != nil {
+						t.Fatalf("%s: %v in want comment %q", pos, err, c.Text)
+					}
+					rx, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, lit, err)
+					}
+					wants[k] = append(wants[k], &expectation{rx: rx, raw: lit})
+					rest = remainder
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted consumes one leading Go string literal and returns its value
+// plus the remainder of the input.
+func splitQuoted(s string) (string, string, error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' && quote == '"' {
+			i++
+			continue
+		}
+		if s[i] == quote {
+			lit, err := strconv.Unquote(s[:i+1])
+			return lit, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string literal")
+}
+
+// Run loads testdata/src/<pkg> for each named package (resolved relative
+// to dir, conventionally the analyzer's source directory), applies the
+// analyzer, and reports mismatches between diagnostics and expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		pkgdir := filepath.Join(dir, "testdata", "src", name)
+		pkg, err := load.Dir(pkgdir)
+		if err != nil {
+			t.Fatalf("%s: loading %s: %v", a.Name, pkgdir, err)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("%s: type errors in %s: %v", a.Name, pkgdir, pkg.TypeErrors)
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s: run on %s: %v", a.Name, name, err)
+		}
+		wants := parseWants(t, pkg)
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			k := key{file: filepath.Base(pos.Filename), line: pos.Line}
+			matched := false
+			for _, w := range wants[k] {
+				if !w.matched && w.rx.MatchString(d.Message) {
+					w.matched = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s: unexpected diagnostic at %s: %s", a.Name, pos, d.Message)
+			}
+		}
+		var missed []string
+		for k, ws := range wants {
+			for _, w := range ws {
+				if !w.matched {
+					missed = append(missed, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, w.raw))
+				}
+			}
+		}
+		sort.Strings(missed)
+		for _, m := range missed {
+			t.Errorf("%s: %s", a.Name, m)
+		}
+	}
+}
+
+// Funcs returns the top-level function declarations of the package —
+// a convenience for analyzer unit tests that inspect testdata structure.
+func Funcs(pkg *load.Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

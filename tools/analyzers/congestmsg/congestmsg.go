@@ -1,0 +1,193 @@
+// Package congestmsg enforces the CONGEST bandwidth contract on message
+// payload types.
+//
+// In the CONGEST model every edge carries O(log n) bits per round. The
+// simulator represents message payloads as structs implementing
+// Bits() int, and the runtime meters declared sizes — but a struct field
+// of unbounded type (slice, map, or string) can smuggle arbitrarily much
+// state across an edge while its Bits method under-reports. This analyzer
+// finds every struct type in the package that declares a Bits() int
+// method and flags each unbounded field that is not annotated with a
+// bound:
+//
+//	type spanOffer struct {
+//		Cluster []int // congest: O(log n) — at most one id, see Bits()
+//	}
+//
+// The annotation is `congest:` followed by a non-empty bound on the
+// field's doc comment or trailing line comment. Types that are
+// deliberately LOCAL-model (unbounded bandwidth) opt out wholesale with a
+// doc-comment line containing `congest: exempt` plus a reason.
+//
+// Test files are exempt.
+package congestmsg
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"riseandshine/tools/analyzers/analysis"
+)
+
+// Analyzer is the congestmsg pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "congestmsg",
+	Doc:  "require bandwidth annotations on unbounded fields of CONGEST message types",
+	Run:  run,
+}
+
+// boundRe matches a congest annotation carrying some bound or reason text.
+var boundRe = regexp.MustCompile(`congest:\s*\S`)
+
+// exemptRe matches a type-level LOCAL-model opt-out; it must also carry a
+// reason after "exempt".
+var exemptRe = regexp.MustCompile(`congest:\s*exempt\s*\S`)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	msgTypes := bitsImplementors(pass)
+	for _, f := range pass.Files {
+		if pass.TestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !msgTypes[ts.Name.Name] {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if exempt(gd, ts) {
+					continue
+				}
+				checkFields(pass, ts.Name.Name, st)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// bitsImplementors collects the names of package-level types with a
+// declared Bits() int method — the simulator's marker for message
+// payloads.
+func bitsImplementors(pass *analysis.Pass) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Bits" || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			if fd.Type.Params.NumFields() != 0 || fd.Type.Results.NumFields() != 1 {
+				continue
+			}
+			// Result must be int.
+			if id, ok := fd.Type.Results.List[0].Type.(*ast.Ident); !ok || id.Name != "int" {
+				continue
+			}
+			t := fd.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if id, ok := t.(*ast.Ident); ok {
+				out[id.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// exempt reports whether the type's doc comment opts it out as a
+// LOCAL-model message. The doc may sit on the TypeSpec or, for single-spec
+// declarations, on the GenDecl.
+func exempt(gd *ast.GenDecl, ts *ast.TypeSpec) bool {
+	for _, doc := range []*ast.CommentGroup{ts.Doc, ts.Comment, gd.Doc} {
+		if doc != nil && exemptRe.MatchString(doc.Text()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFields flags unbounded, unannotated fields of one message struct.
+func checkFields(pass *analysis.Pass, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if !unbounded(pass, field.Type) {
+			continue
+		}
+		if annotated(field) {
+			continue
+		}
+		names := "embedded field"
+		if len(field.Names) > 0 {
+			names = field.Names[0].Name
+		}
+		pass.Reportf(field.Pos(),
+			"congestmsg: field %s of message type %s has unbounded type %s; annotate the O(log n) bound (// congest: O(log n) — …) or make the type congest: exempt with a reason",
+			names, typeName, typeString(pass, field.Type))
+	}
+}
+
+// unbounded reports whether the field type can hold data not bounded by a
+// constant number of machine words: slices, maps, and strings, directly or
+// through named types, arrays, and pointers.
+func unbounded(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	return unboundedType(t, make(map[types.Type]bool))
+}
+
+func unboundedType(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Chan:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.String
+	case *types.Pointer:
+		return unboundedType(u.Elem(), seen)
+	case *types.Array:
+		return unboundedType(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if unboundedType(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Interface:
+		// An interface field could hold anything; treat as unbounded.
+		return true
+	}
+	return false
+}
+
+// annotated reports whether the field carries a congest bound on its doc
+// comment or trailing comment.
+func annotated(field *ast.Field) bool {
+	for _, doc := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if doc != nil && boundRe.MatchString(doc.Text()) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeString renders the field's type for the diagnostic.
+func typeString(pass *analysis.Pass, e ast.Expr) string {
+	if t := pass.TypesInfo.TypeOf(e); t != nil {
+		return types.TypeString(t, types.RelativeTo(pass.Pkg))
+	}
+	return "?"
+}

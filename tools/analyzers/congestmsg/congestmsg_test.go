@@ -1,0 +1,12 @@
+package congestmsg_test
+
+import (
+	"testing"
+
+	"riseandshine/tools/analyzers/analysistest"
+	"riseandshine/tools/analyzers/congestmsg"
+)
+
+func TestCongestmsg(t *testing.T) {
+	analysistest.Run(t, ".", congestmsg.Analyzer, "a")
+}

@@ -1,0 +1,63 @@
+// Package a exercises the congestmsg analyzer: unbounded fields of
+// Bits()-implementing message types need a congest annotation, fixed-size
+// fields and exempt LOCAL-model types do not.
+package a
+
+// spanOffer annotates every unbounded field: accepted.
+type spanOffer struct {
+	Round int
+	// congest: O(log n) — at most one cluster id; Bits() meters it.
+	Cluster []int
+	Label   string // congest: O(log n) — label is a single node id rendered in hex
+}
+
+func (m spanOffer) Bits() int { return 64 }
+
+// leakyMsg declares unbounded fields without bounds: each is flagged.
+type leakyMsg struct {
+	Payload []int       // want `unbounded type \[\]int`
+	Tag     string      // want `unbounded type string`
+	Extra   map[int]int // want `unbounded type map\[int\]int`
+	Round   int
+}
+
+func (m *leakyMsg) Bits() int { return 1 }
+
+// bigToken is a LOCAL-model token (congest: exempt — LOCAL messages carry
+// unbounded payloads by design): nothing inside is flagged.
+type bigToken struct {
+	Visited []int
+	Stack   []int
+}
+
+func (t bigToken) Bits() int { return 0 }
+
+// notAMessage has no Bits method, so its fields are unconstrained.
+type notAMessage struct {
+	Anything []string
+}
+
+// fixedMsg has only word-sized and fixed-array fields: accepted.
+type fixedMsg struct {
+	A, B, C int
+	W       [4]int
+}
+
+func (m fixedMsg) Bits() int { return 7 }
+
+// wrapped embeds an unbounded type through a named alias: flagged.
+type idList []int
+
+type wrapped struct {
+	IDs idList // want `unbounded type idList`
+}
+
+func (m wrapped) Bits() int { return 3 }
+
+// bits is a decoy: Bits with the wrong signature does not mark a message
+// type.
+type decoy struct {
+	Data []byte
+}
+
+func (d decoy) Bits(scale int) int { return scale }

@@ -1,0 +1,9 @@
+// Test files are exempt: a message type declared in a test is not
+// checked.
+package a
+
+type testOnlyMsg struct {
+	Blob []byte
+}
+
+func (m testOnlyMsg) Bits() int { return 2 }

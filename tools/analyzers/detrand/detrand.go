@@ -1,0 +1,136 @@
+// Package detrand forbids nondeterministic entropy sources in the
+// simulator's deterministic packages.
+//
+// The reproduction's core guarantee is that a run is byte-identical for a
+// given (seed, run index): all randomness must flow from sim.NodeRand /
+// sim.RunSeed derivations and no code may observe wall-clock time. This
+// analyzer enforces that contract:
+//
+//   - calls to (or references of) the global math/rand source — rand.Intn,
+//     rand.Perm, rand.Shuffle, rand.Seed, … — are flagged; constructing an
+//     explicitly seeded generator (rand.New(rand.NewSource(seed))) remains
+//     allowed, since an explicit seed is exactly how determinism is wired;
+//   - rand.NewSource(time.Now()…) is flagged specifically: a wall-clock
+//     seed makes every run unique;
+//   - any other use of time.Now is flagged — simulated time is sim.Time,
+//     and wall-clock timestamps in results or logs break byte-identity.
+//
+// Test files are exempt (the driver additionally exempts examples/ and
+// all packages outside the deterministic set).
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"riseandshine/tools/analyzers/analysis"
+)
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand and time.Now in deterministic simulator packages",
+	Run:  run,
+}
+
+// allowedRand lists math/rand selectors that do not touch the global
+// source: explicit-seed constructors and type names. Everything else on
+// the package (Intn, Perm, Shuffle, Seed, Int63, Float64, …) reads or
+// reseeds the process-global generator.
+var allowedRand = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true,
+	"Source":    true,
+	"Source64":  true,
+	"Zipf":      true,
+	// math/rand/v2 explicit-seed constructors and types.
+	"NewPCG":     true,
+	"PCG":        true,
+	"NewChaCha8": true,
+	"ChaCha8":    true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if pass.TestFile(f.Pos()) {
+			continue
+		}
+		// First pass: find time.Now calls nested in rand.NewSource
+		// arguments so they get the targeted message, not the generic one.
+		seedFromClock := make(map[ast.Expr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgFunc(pass, call.Fun, randPkg, "NewSource") {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if inner, ok := m.(*ast.CallExpr); ok && isPkgFunc(pass, inner.Fun, timePkg, "Now") {
+						seedFromClock[inner.Fun] = true
+						pass.Reportf(call.Pos(),
+							"detrand: rand.NewSource(time.Now()…) seeds from the wall clock and makes runs irreproducible; derive the seed with sim.RunSeed")
+					}
+					return true
+				})
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch pkgOf(pass, sel.X) {
+			case randPkg:
+				if !allowedRand[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"detrand: rand.%s uses the process-global math/rand source; use a *rand.Rand from sim.NodeRand (node-private) or seeded via sim.RunSeed", sel.Sel.Name)
+				}
+			case timePkg:
+				if sel.Sel.Name == "Now" && !seedFromClock[sel] {
+					pass.Reportf(sel.Pos(),
+						"detrand: time.Now reads the wall clock and breaks run reproducibility; simulated time is sim.Time — thread it through explicitly")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type pkgKind int
+
+const (
+	otherPkg pkgKind = iota
+	randPkg
+	timePkg
+)
+
+// pkgOf classifies the package an identifier names, resolving through
+// import aliases.
+func pkgOf(pass *analysis.Pass, x ast.Expr) pkgKind {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return otherPkg
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return otherPkg
+	}
+	switch pn.Imported().Path() {
+	case "math/rand", "math/rand/v2":
+		return randPkg
+	case "time":
+		return timePkg
+	}
+	return otherPkg
+}
+
+// isPkgFunc reports whether fun is a selector pkg.name for the given
+// package kind.
+func isPkgFunc(pass *analysis.Pass, fun ast.Expr, kind pkgKind, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == name && pkgOf(pass, sel.X) == kind
+}

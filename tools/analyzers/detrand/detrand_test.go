@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"riseandshine/tools/analyzers/analysistest"
+	"riseandshine/tools/analyzers/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, ".", detrand.Analyzer, "a")
+}

@@ -1,0 +1,47 @@
+// Package a exercises the detrand analyzer: global math/rand use,
+// wall-clock seeding, and bare time.Now are flagged; explicitly seeded
+// generators are not.
+package a
+
+import (
+	"math/rand"
+	"time"
+
+	mrand "math/rand"
+)
+
+func globals() {
+	_ = rand.Intn(10)                  // want `process-global math/rand`
+	rand.Shuffle(3, func(i, j int) {}) // want `process-global math/rand`
+	_ = rand.Perm(5)                   // want `process-global math/rand`
+	_ = mrand.Float64()                // want `process-global math/rand`
+}
+
+// seeded constructs an explicitly seeded generator: this is the approved
+// pattern, nothing is flagged.
+func seeded() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+func clockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeds from the wall clock`
+}
+
+func wallClock() int64 {
+	return time.Now().Unix() // want `reads the wall clock`
+}
+
+// now is a decoy: a method named Now on a non-time type is fine.
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+func decoy() int {
+	var c clock
+	return c.Now()
+}
+
+// since uses the time package without touching the wall clock.
+func since(d time.Duration) time.Duration {
+	return d * 2
+}

@@ -1,0 +1,13 @@
+// Test files are exempt from the determinism contract: none of these
+// uses is flagged.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func helperWithEntropy() int64 {
+	_ = rand.Intn(10)
+	return time.Now().UnixNano()
+}

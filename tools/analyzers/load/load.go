@@ -1,0 +1,205 @@
+// Package load type-checks Go packages for the wakeuplint analyzers
+// without golang.org/x/tools/go/packages: it shells out to
+// `go list -export -deps -json` for package metadata and compiled export
+// data, parses the sources with go/parser, and type-checks them with
+// go/types using the gc importer over the export files. This is the same
+// strategy `go vet` itself uses, so standalone runs and vettool runs see
+// identical type information.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed and type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	// TypeErrors collects soft type-check errors (the package is still
+	// analyzed best-effort when only some files fail).
+	TypeErrors []error
+}
+
+// listPackage mirrors the subset of `go list -json` output we consume.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// exportIndex caches import path → export data file across go list calls.
+type exportIndex struct {
+	mu      sync.Mutex
+	dir     string
+	exports map[string]string
+}
+
+func newExportIndex(dir string) *exportIndex {
+	return &exportIndex{dir: dir, exports: make(map[string]string)}
+}
+
+// goList streams `go list -export -deps -json args...` and returns the
+// decoded packages, recording every export file in the index.
+func (x *exportIndex) goList(args ...string) ([]*listPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-export", "-deps", "-json"}, args...)...)
+	cmd.Dir = x.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	x.mu.Lock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			x.exports[p.ImportPath] = p.Export
+		}
+	}
+	x.mu.Unlock()
+	return pkgs, nil
+}
+
+// lookup resolves an import path to an export data reader, fetching
+// metadata on demand for paths not yet indexed (testdata packages import
+// stdlib packages that no prior go list call has covered).
+func (x *exportIndex) lookup(path string) (io.ReadCloser, error) {
+	x.mu.Lock()
+	file, ok := x.exports[path]
+	x.mu.Unlock()
+	if !ok {
+		if _, err := x.goList(path); err != nil {
+			return nil, err
+		}
+		x.mu.Lock()
+		file, ok = x.exports[path]
+		x.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// check parses the given files and type-checks them as one package.
+func (x *exportIndex) check(importPath, dir string, filenames []string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range filenames {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{ImportPath: importPath, Dir: dir, Fset: fset, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", x.lookup),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", importPath, err)
+	}
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	return pkg, nil
+}
+
+// Packages loads, parses, and type-checks the packages matched by the
+// given go list patterns, resolved relative to dir. Only matched packages
+// are returned (dependencies contribute export data only); test files are
+// not included, matching the analyzers' test-file exemption.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	x := newExportIndex(dir)
+	listed, err := x.goList(append([]string{"--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range listed {
+		if p.Standard || p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := x.check(p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Dir loads the single package rooted at dir from its *.go files without
+// consulting go list for the package itself — the analysistest harness
+// uses this for testdata packages, which the go tool would refuse to
+// enumerate. Imports are resolved to compiled export data on demand.
+func Dir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %v", err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, e.Name())
+		}
+	}
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	sort.Strings(filenames)
+	x := newExportIndex(dir)
+	return x.check(filepath.Base(dir), dir, filenames)
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"riseandshine/tools/analyzers/analysistest"
+	"riseandshine/tools/analyzers/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, ".", maporder.Analyzer, "a")
+}

@@ -1,0 +1,134 @@
+// Package a exercises the maporder analyzer: order-insensitive loop
+// bodies (reductions, map accumulation, collect-then-sort, extremum
+// updates) pass; loops whose effects depend on iteration order are
+// flagged unless carrying a justified suppression.
+package a
+
+import "sort"
+
+// sum is a commutative reduction: accepted.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// count uses IncDec only: accepted.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// invert accumulates into another map — distinct keys, distinct cells:
+// accepted.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// keysSorted is the canonical collect-then-sort idiom: accepted.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// maxVal is a running extremum: accepted.
+func maxVal(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// guarded mixes a pure condition with a reduction: accepted.
+func guarded(m map[string]int) int {
+	n := 0
+	for k, v := range m {
+		if len(k) > 2 && v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// fill writes through the loop key — distinct cells: accepted.
+func fill(m map[int]int, s []int) {
+	for k, v := range m {
+		s[k] = v
+	}
+}
+
+// keysUnsorted collects keys but never sorts them: the slice order leaks
+// map iteration order to the caller.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order can escape`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// send emits keys in iteration order: flagged.
+func send(m map[string]int, ch chan string) {
+	for k := range m { // want `map iteration order can escape`
+		ch <- k
+	}
+}
+
+// firstKey returns whichever key the runtime visits first: flagged.
+func firstKey(m map[string]int) string {
+	for k := range m { // want `map iteration order can escape`
+		return k
+	}
+	return ""
+}
+
+// suppressed carries a justified suppression: accepted as-is.
+func suppressed(m map[string]int) []string {
+	var keys []string
+	//lint:maporder-ok caller sorts before comparing
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// inlineSuppressed puts the justification on the loop line: accepted.
+func inlineSuppressed(m map[string]int, ch chan string) {
+	for k := range m { //lint:maporder-ok receiver treats keys as a set
+		ch <- k
+	}
+}
+
+// badSuppression omits the justification: the suppression itself is
+// flagged.
+func badSuppression(m map[string]int) []string {
+	var keys []string
+	//lint:maporder-ok
+	for k := range m { // want `requires a justification`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sliceRange is not a map range: never flagged.
+func sliceRange(s []int, ch chan int) {
+	for _, v := range s {
+		ch <- v
+	}
+}

@@ -1,0 +1,10 @@
+// Test files are exempt: an order-leaking loop here is not flagged.
+package a
+
+func helperKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
