@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"riseandshine"
 	"riseandshine/internal/experiment"
 	"riseandshine/internal/stats"
 )
@@ -40,6 +41,7 @@ func run() error {
 		k        = flag.Int("k", 0, "spanner parameter")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
 		csvPath  = flag.String("csv", "", "write the sweep as CSV to this path (optional)")
+		digest   = flag.Bool("digest", false, "print one combined FNV transcript digest per size (byte-identical across hosts and worker counts)")
 	)
 	flag.Parse()
 
@@ -57,12 +59,13 @@ func run() error {
 	for _, n := range sizes {
 		for s := 0; s < *seeds; s++ {
 			specs = append(specs, experiment.RunSpec{
-				Graph:       fmt.Sprintf(*graphT, n),
-				Algorithm:   *algName,
-				K:           *k,
-				Schedule:    *schedule,
-				Delays:      *delays,
-				RandomPorts: true,
+				Graph:         fmt.Sprintf(*graphT, n),
+				Algorithm:     *algName,
+				K:             *k,
+				Schedule:      *schedule,
+				Delays:        *delays,
+				RandomPorts:   true,
+				RecordDigests: *digest,
 			})
 		}
 	}
@@ -101,6 +104,20 @@ func run() error {
 	if *csvPath != "" {
 		if err := tbl.WriteCSV(*csvPath); err != nil {
 			return err
+		}
+	}
+
+	if *digest {
+		// Fold the per-run combined digests, in matrix order, into one value
+		// per size. Seeds derive from the run's matrix position, so the same
+		// command line must print the same digests anywhere.
+		fmt.Println()
+		for i, n := range sizes {
+			perRun := make([]uint64, *seeds)
+			for s := 0; s < *seeds; s++ {
+				perRun[s] = riseandshine.CombineDigests(results[i*(*seeds)+s].Res.TranscriptDigests)
+			}
+			fmt.Printf("digest n=%-7d %016x\n", n, riseandshine.CombineDigests(perRun))
 		}
 	}
 

@@ -38,7 +38,8 @@ func run() error {
 		list      = flag.Bool("list", false, "list registered algorithms and exit")
 		dotPath   = flag.String("dot", "", "write the network (awake set highlighted) as Graphviz DOT to this path")
 		curvePath = flag.String("wakecurve", "", "write the per-node wake times as CSV to this path")
-		tracePath = flag.String("trace", "", "write the full event trace as CSV to this path (asynchronous algorithms only)")
+		tracePath = flag.String("trace", "", "write the full event trace as CSV to this path")
+		digest    = flag.Bool("digest", false, "record per-node transcript digests and print the run's combined FNV-64a digest")
 	)
 	flag.Parse()
 
@@ -88,12 +89,16 @@ func run() error {
 		defer f.Close()
 		cfg.Trace = f
 	}
+	cfg.RecordDigests = *digest
 	res, err := riseandshine.Run(cfg)
 	if err != nil {
 		return err
 	}
 	if *tracePath != "" {
 		fmt.Printf("trace      wrote %s\n", *tracePath)
+	}
+	if *digest {
+		fmt.Printf("digest     %016x over %d node transcripts\n", riseandshine.CombineDigests(res.TranscriptDigests), len(res.TranscriptDigests))
 	}
 
 	diam, derr := g.Diameter()

@@ -31,6 +31,10 @@ type RunSpec struct {
 	// RandomPorts selects the adversarial random port assignment (seeded by
 	// the run seed); otherwise identity ports are used.
 	RandomPorts bool
+	// RecordDigests publishes per-node transcript digests into
+	// Res.TranscriptDigests, so sweeps can compare executions bit-for-bit
+	// across worker counts and hosts.
+	RecordDigests bool
 }
 
 // RunResult pairs one completed run with the seed it used and the graph it
@@ -118,13 +122,14 @@ func runOne(spec RunSpec, seed int64) (RunResult, error) {
 		ports = riseandshine.RandomPorts(g, seed)
 	}
 	res, err := riseandshine.Run(riseandshine.RunConfig{
-		Graph:     g,
-		Algorithm: spec.Algorithm,
-		Options:   riseandshine.Options{K: spec.K},
-		Schedule:  sched,
-		Delays:    delays,
-		Ports:     ports,
-		Seed:      seed,
+		Graph:         g,
+		Algorithm:     spec.Algorithm,
+		Options:       riseandshine.Options{K: spec.K},
+		Schedule:      sched,
+		Delays:        delays,
+		Ports:         ports,
+		Seed:          seed,
+		RecordDigests: spec.RecordDigests,
 	})
 	if err != nil {
 		return RunResult{}, err

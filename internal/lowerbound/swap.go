@@ -107,6 +107,8 @@ func SwapIndistinguishability(in *Instance) (*SwapReport, error) {
 		return nil, fmt.Errorf("lowerbound: no center with odd partner and odd silent neighbor")
 	}
 
+	// Each run installs a fresh shared digest observer; the transcripts it
+	// publishes into Result.TranscriptDigests are the Lemma 5/6 "views".
 	run := func(g *graph.Graph) (*sim.Result, error) {
 		return sim.RunAsync(sim.Config{
 			Graph: g,
@@ -115,7 +117,7 @@ func SwapIndistinguishability(in *Instance) (*SwapReport, error) {
 			Adversary: sim.Adversary{
 				Schedule: sim.WakeSet{Nodes: in.Centers()},
 			},
-			RecordDigests: true,
+			Observer: sim.NewDigestObserver(false),
 		}, parityProbe{})
 	}
 

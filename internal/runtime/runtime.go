@@ -6,9 +6,15 @@
 // the deterministic event ordering of the sim package, and to demonstrate
 // the library running as an actual concurrent system.
 //
-// Timing is not simulated: deliveries are immediate and adversarial wake
-// times are interpreted as ordering hints only (wake-ups are issued in
-// time order). Complexity measurements belong to package sim.
+// Setup (NodeInfo, ports, advice, per-node randomness) and accounting
+// (message counters, CONGEST tallies, Result assembly) are the same shared
+// harness the deterministic engines use, so a node sees identical static
+// state under every executor and a Result field means the same thing.
+// Wall-clock time is not simulated: deliveries are immediate, adversarial
+// wake times are ordering hints only, and Context.Now reports a per-node
+// pseudo-time (the node's delivery count). Timing-derived Result fields
+// (WakeAt, Span, WakeSpan, AwakeTime) are therefore not meaningful here;
+// complexity measurements belong to package sim.
 package runtime
 
 import (
@@ -33,13 +39,12 @@ type Config struct {
 	Seed       int64
 	Advice     [][]byte
 	AdviceBits []int
-}
-
-// Result reports the outcome of a concurrent run.
-type Result struct {
-	AllAwake   bool
-	AwakeCount int
-	Messages   int64
+	// Observer, when non-nil, receives the engine's event stream; stack
+	// several with sim.StackObservers. The engine serializes observer
+	// calls behind its accounting mutex, so implementations need not be
+	// safe for concurrent use. Event times are the receiving node's
+	// pseudo-time (its delivery count); wakes are reported at 0.
+	Observer sim.Observer
 }
 
 type delivery struct {
@@ -58,17 +63,36 @@ type node struct {
 
 	awake    atomic.Bool
 	advWoken bool // written before the machine starts, read only by its goroutine
-	machine  sim.Program
+	// deliveries counts messages processed by this node's goroutine; it
+	// backs Context.Now as a per-node pseudo-time.
+	deliveries int64
+	machine    sim.Program
 }
 
 type engine struct {
-	cfg      Config
-	g        *graph.Graph
-	pm       *graph.PortMap
-	nodes    []*node
-	pending  sync.WaitGroup // outstanding wake-ups and messages
-	done     chan struct{}
-	messages atomic.Int64
+	cfg     Config
+	g       *graph.Graph
+	pm      *graph.PortMap
+	s       *sim.Setup
+	nodes   []*node
+	pending sync.WaitGroup // outstanding wake-ups and messages
+	done    chan struct{}
+
+	// mu serializes the shared accounting and the observer; both are
+	// single-threaded types borrowed from the deterministic engines.
+	mu   sync.Mutex
+	acct *sim.Accounting
+	obs  sim.Observer
+	err  error
+}
+
+// fail records the first engine error; the run reports it after quiescing.
+func (e *engine) fail(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
 }
 
 // nodeCtx implements sim.Context for the concurrent engine. It is only
@@ -79,8 +103,14 @@ type nodeCtx struct {
 
 var _ sim.Context = nodeCtx{}
 
-func (c nodeCtx) Info() sim.NodeInfo    { return c.n.info }
-func (c nodeCtx) Now() sim.Time         { return 0 } // wall-clock time is not modelled
+func (c nodeCtx) Info() sim.NodeInfo { return c.n.info }
+
+// Now returns the node's pseudo-time: the number of messages delivered to
+// it so far. Wall-clock time is not modelled, so this is the only engine
+// clock available — it increases monotonically per node (0 during an
+// adversarial OnWake, k during the handler of the k-th delivery) but is
+// not comparable across nodes or with simulated time.
+func (c nodeCtx) Now() sim.Time         { return sim.Time(c.n.deliveries) }
 func (c nodeCtx) Round() int            { return -1 }
 func (c nodeCtx) Rand() *rand.Rand      { return c.n.rng }
 func (c nodeCtx) AdversarialWake() bool { return c.n.advWoken }
@@ -89,11 +119,20 @@ func (c nodeCtx) Send(port int, m sim.Message) {
 	e := c.n.eng
 	from := c.n.index
 	to := e.pm.Neighbor(from, port)
+	e.mu.Lock()
+	err := e.acct.Send(from, port, m.Bits())
+	if err == nil && e.obs != nil {
+		e.obs.OnSend(sim.Time(c.n.deliveries), from, port, m)
+	}
+	e.mu.Unlock()
+	if err != nil {
+		e.fail(err)
+		return
+	}
 	fromID := graph.NodeID(-1)
 	if e.cfg.Model.Knowledge == sim.KT1 {
 		fromID = e.g.ID(from)
 	}
-	e.messages.Add(1)
 	e.deliver(to, sim.Delivery{
 		Msg:        m,
 		Port:       e.pm.PortTo(to, from),
@@ -164,36 +203,61 @@ type wakeSentinel struct{}
 func (wakeSentinel) Bits() int { return 0 }
 
 func (n *node) process(alg sim.Algorithm, d delivery) {
+	e := n.eng
 	_, isWake := d.d.Msg.(wakeSentinel)
 	if !n.awake.Load() {
 		n.advWoken = isWake
 		n.machine = alg.NewMachine(n.info)
 		n.awake.Store(true)
+		e.mu.Lock()
+		e.acct.Result().Events++
+		e.acct.Wake(n.index, 0, isWake)
+		if e.obs != nil {
+			e.obs.OnWake(0, n.index, isWake)
+		}
+		e.mu.Unlock()
 		n.machine.OnWake(nodeCtx{n: n})
 	}
 	if !isWake {
+		n.deliveries++
+		at := sim.Time(n.deliveries)
+		e.mu.Lock()
+		e.acct.Result().Events++
+		e.acct.Deliver(n.index, d.d.Port)
+		if e.obs != nil {
+			e.obs.OnDeliver(at, n.index, d.d)
+		}
+		e.mu.Unlock()
 		n.machine.OnMessage(nodeCtx{n: n}, d.d)
 	}
 }
 
 // Run executes alg concurrently and blocks until the network quiesces (no
-// messages in flight and all inboxes empty).
-func Run(cfg Config, alg sim.Algorithm) (*Result, error) {
+// messages in flight and all inboxes empty). The returned Result carries
+// the shared accounting metrics; timing-derived fields are zeroed because
+// the engine has no clock (see the package comment).
+func Run(cfg Config, alg sim.Algorithm) (*sim.Result, error) {
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("runtime: Config.Graph is required")
+	}
+	if alg == nil {
+		return nil, fmt.Errorf("runtime: algorithm is required")
 	}
 	if cfg.Schedule == nil {
 		return nil, fmt.Errorf("runtime: Config.Schedule is required")
 	}
-	g := cfg.Graph
-	pm := cfg.Ports
-	if pm == nil {
-		pm = graph.IdentityPorts(g)
+	s, err := sim.NewSetup(cfg.Graph, cfg.Ports, cfg.Model, cfg.Seed, cfg.Advice, cfg.AdviceBits)
+	if err != nil {
+		return nil, err
 	}
+	g := s.Graph
 	e := &engine{
 		cfg:   cfg,
 		g:     g,
-		pm:    pm,
+		pm:    s.Ports,
+		s:     s,
+		acct:  sim.NewAccounting(s, alg.Name(), false),
+		obs:   cfg.Observer,
 		nodes: make([]*node, g.N()),
 		done:  make(chan struct{}),
 	}
@@ -201,10 +265,10 @@ func Run(cfg Config, alg sim.Algorithm) (*Result, error) {
 		e.nodes[v] = &node{
 			eng:   e,
 			index: v,
-			info:  infoFor(g, pm, cfg, v),
-			// Use the sim engine's derivation so a node sees the same
-			// random stream under both engines for the same seed.
-			rng:    sim.NodeRand(cfg.Seed, v),
+			info:  s.Infos[v],
+			// The shared derivation: a node sees the same random stream
+			// under every engine for the same seed.
+			rng:    s.Rand(v),
 			signal: make(chan struct{}, 1),
 		}
 	}
@@ -225,46 +289,15 @@ func Run(cfg Config, alg sim.Algorithm) (*Result, error) {
 	close(e.done)
 	workers.Wait()
 
-	res := &Result{Messages: e.messages.Load()}
-	for _, n := range e.nodes {
-		if n.awake.Load() {
-			res.AwakeCount++
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.acct.Finish(0)
+	res := e.acct.Result()
+	if e.obs != nil {
+		if err := e.obs.OnFinish(res); err != nil {
+			return res, fmt.Errorf("runtime: %w", err)
 		}
 	}
-	res.AllAwake = res.AwakeCount == g.N()
 	return res, nil
-}
-
-func infoFor(g *graph.Graph, pm *graph.PortMap, cfg Config, v int) sim.NodeInfo {
-	info := sim.NodeInfo{
-		ID:     g.ID(v),
-		N:      g.N(),
-		LogN:   bitsFor(g.N()),
-		Degree: g.Degree(v),
-	}
-	if cfg.Model.Knowledge == sim.KT1 {
-		ids := make([]graph.NodeID, info.Degree)
-		for p := 1; p <= info.Degree; p++ {
-			ids[p-1] = g.ID(pm.Neighbor(v, p))
-		}
-		info.NeighborIDs = ids
-	}
-	if cfg.Advice != nil {
-		info.Advice = cfg.Advice[v]
-		if cfg.AdviceBits != nil {
-			info.AdviceBits = cfg.AdviceBits[v]
-		}
-	}
-	return info
-}
-
-func bitsFor(n int) int {
-	if n <= 1 {
-		return 1
-	}
-	bits := 0
-	for v := n - 1; v > 0; v >>= 1 {
-		bits++
-	}
-	return bits
 }

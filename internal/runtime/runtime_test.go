@@ -25,7 +25,7 @@ func TestConcurrentFlood(t *testing.T) {
 	if !res.AllAwake {
 		t.Fatalf("only %d/%d awake", res.AwakeCount, g.N())
 	}
-	if res.Messages != int64(2*g.M()) {
+	if res.Messages != 2*g.M() {
 		t.Errorf("messages = %d, want %d", res.Messages, 2*g.M())
 	}
 }

@@ -1,0 +1,148 @@
+package sim
+
+import "fmt"
+
+// Accounting owns the execution metrics every executor maintains: CONGEST
+// enforcement, per-node send/receive counters, wake bookkeeping, and the
+// final Result assembly. The asynchronous engine, the synchronous engine,
+// and the concurrent goroutine runtime all tally through one Accounting,
+// so a metric means the same thing under every scheduler.
+//
+// Accounting is not safe for concurrent use; the goroutine runtime
+// serializes its calls behind a mutex (measurement there is advisory —
+// complexity numbers belong to the deterministic engines).
+type Accounting struct {
+	res      Result
+	limit    int
+	portUsed [][]bool
+
+	firstSet bool
+	first    Time
+	lastWake Time
+}
+
+// NewAccounting assembles the base Result for one execution of algName on
+// the given Setup. TrackPorts enables the per-node distinct-port counters
+// behind Result.PortsUsed.
+func NewAccounting(s *Setup, algName string, trackPorts bool) *Accounting {
+	n := s.Graph.N()
+	a := &Accounting{
+		limit: s.CongestLimit,
+		res: Result{
+			Algorithm:       algName,
+			N:               n,
+			M:               s.Graph.M(),
+			WakeAt:          make([]Time, n),
+			AdversaryWoken:  make([]bool, n),
+			SentBy:          make([]int, n),
+			ReceivedBy:      make([]int, n),
+			AdviceTotalBits: s.adviceTotalBits,
+			AdviceMaxBits:   s.adviceMaxBits,
+		},
+	}
+	for v := range a.res.WakeAt {
+		a.res.WakeAt[v] = -1
+	}
+	if trackPorts {
+		a.portUsed = make([][]bool, n)
+		for v := 0; v < n; v++ {
+			a.portUsed[v] = make([]bool, s.Graph.Degree(v))
+		}
+	}
+	return a
+}
+
+// Result exposes the metrics being assembled. Engines may set fields only
+// they can know (Events, Rounds); everything shared flows through the
+// Wake/Send/Deliver/Finish methods.
+func (a *Accounting) Result() *Result { return &a.res }
+
+// Wake records node v waking at the given time, directly by the adversary
+// when adversarial is true. Callers guarantee at most one call per node.
+func (a *Accounting) Wake(v int, at Time, adversarial bool) {
+	a.res.AwakeCount++
+	a.res.WakeAt[v] = at
+	a.res.AdversaryWoken[v] = adversarial
+	if !a.firstSet {
+		a.firstSet = true
+		a.first = at
+	}
+	if at > a.lastWake {
+		a.lastWake = at
+	}
+}
+
+// AdversaryWoken reports whether node v was woken directly by the
+// adversary (the engines' Context.AdversarialWake reads this).
+func (a *Accounting) AdversaryWoken(v int) bool { return a.res.AdversaryWoken[v] }
+
+// Send records one message of the given size leaving node from over the
+// given port. It rejects negative sizes and counts CONGEST violations;
+// whether a violation is fatal is the engine's StrictCongest decision,
+// checked at the end via CongestError.
+func (a *Accounting) Send(from, port, bits int) error {
+	if bits < 0 {
+		return fmt.Errorf("sim: message reports negative size %d bits", bits)
+	}
+	a.res.Messages++
+	a.res.MessageBits += int64(bits)
+	if bits > a.res.MaxMessageBits {
+		a.res.MaxMessageBits = bits
+	}
+	if a.limit > 0 && bits > a.limit {
+		a.res.CongestViolations++
+	}
+	a.res.SentBy[from]++
+	if a.portUsed != nil {
+		a.portUsed[from][port-1] = true
+	}
+	return nil
+}
+
+// Deliver records node v receiving one message on the given port.
+func (a *Accounting) Deliver(v, port int) {
+	a.res.ReceivedBy[v]++
+	if a.portUsed != nil {
+		a.portUsed[v][port-1] = true
+	}
+}
+
+// Finish derives the aggregate metrics once the execution has quiesced;
+// end is the time of the last engine event. Span and WakeSpan are measured
+// from the first wake-up, AwakeTime sums per-node awake durations, and the
+// TrackPorts counters collapse into Result.PortsUsed.
+func (a *Accounting) Finish(end Time) {
+	r := &a.res
+	r.AllAwake = r.AwakeCount == r.N
+	if a.firstSet {
+		r.Span = end - a.first
+		r.WakeSpan = a.lastWake - a.first
+	}
+	for _, at := range r.WakeAt {
+		if at >= 0 {
+			r.AwakeTime += float64(end - at)
+		}
+	}
+	if a.portUsed != nil {
+		r.PortsUsed = make([]int, len(a.portUsed))
+		for v, used := range a.portUsed {
+			count := 0
+			for _, u := range used {
+				if u {
+					count++
+				}
+			}
+			r.PortsUsed[v] = count
+		}
+	}
+}
+
+// CongestError returns the error a strict-CONGEST engine reports when any
+// message exceeded the bit limit, and nil otherwise.
+func (a *Accounting) CongestError() error {
+	if a.res.CongestViolations == 0 {
+		return nil
+	}
+	return fmt.Errorf("sim: %d messages exceeded the CONGEST limit of %d bits",
+		a.res.CongestViolations, a.limit)
+}

@@ -132,10 +132,27 @@ func TestBiasedDelay(t *testing.T) {
 }
 
 func TestCeilLog2(t *testing.T) {
-	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
-	for n, want := range cases {
-		if got := ceilLog2(n); got != want {
-			t.Errorf("ceilLog2(%d) = %d, want %d", n, got, want)
+	cases := []struct {
+		n, want int
+	}{
+		// Degenerate sizes clamp to 1 bit.
+		{0, 1},
+		{1, 1},
+		{2, 1},
+		// Powers of two and their off-by-one neighbors.
+		{3, 2}, {4, 2}, {5, 3},
+		{7, 3}, {8, 3}, {9, 4},
+		{15, 4}, {16, 4}, {17, 5},
+		{31, 5}, {32, 5}, {33, 6},
+		{63, 6}, {64, 6}, {65, 7},
+		{127, 7}, {128, 7}, {129, 8},
+		{255, 8}, {256, 8}, {257, 9},
+		{1023, 10}, {1024, 10}, {1025, 11},
+		{1 << 20, 20}, {1<<20 + 1, 21},
+	}
+	for _, tc := range cases {
+		if got := CeilLog2(tc.n); got != tc.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", tc.n, got, tc.want)
 		}
 	}
 }

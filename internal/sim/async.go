@@ -35,19 +35,21 @@ type Config struct {
 	MaxEvents int
 	// TrackPorts enables per-node distinct-port accounting (Result.PortsUsed).
 	TrackPorts bool
-	// RecordDigests enables per-node transcript digests
-	// (Result.TranscriptDigests): an order-sensitive hash of every
-	// delivery a node receives (time, ports, sender, payload). Two
-	// executions are observationally identical at a node iff the digests
-	// match — the executable form of the indistinguishability arguments
-	// in Lemmas 5 and 6.
+	// RecordDigests installs a DigestObserver: per-node transcript digests
+	// land in Result.TranscriptDigests. Shorthand for stacking
+	// NewDigestObserver(false) onto Observer.
 	RecordDigests bool
 	// StrictCongest makes the run fail if any message exceeds the CONGEST
 	// bit limit; otherwise violations are only counted.
 	StrictCongest bool
-	// Trace, when non-nil, receives one CSV line per engine event (wake
-	// or delivery); see the tracer documentation in trace.go.
+	// Trace installs a TraceObserver writing one CSV line per engine event
+	// (wake or delivery) to the writer; see the tracer documentation in
+	// trace.go. Shorthand for stacking NewTraceObserver(w) onto Observer.
 	Trace io.Writer
+	// Observer, when non-nil, receives the engine's event stream; stack
+	// several with StackObservers. The hot path stays allocation-free when
+	// no observer is installed.
+	Observer Observer
 }
 
 const (
@@ -76,21 +78,25 @@ func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
 func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
 func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
 
-// asyncEngine holds all mutable execution state.
+// asyncEngine holds all mutable execution state. Setup (node info, ports,
+// RNG derivation), accounting (counters and Result assembly), and
+// observation (trace/digest/metrics) live in the shared harness types; the
+// engine itself owns only the event queue and the per-edge FIFO state.
 type asyncEngine struct {
 	cfg      Config
 	alg      Algorithm
 	g        *graph.Graph
 	pm       *graph.PortMap
+	s        *Setup
+	acct     *Accounting
+	obs      Observer
 	delays   Delayer
 	queue    eventQueue
 	seq      int64
 	now      Time
 	awake    []bool
-	advWoken []bool
 	machines []Program
 	rands    []*rand.Rand
-	infos    []NodeInfo
 	// Per-directed-edge state, indexed CSR-style: the out-edge of node v
 	// addressed by port p lives at flat index edgeStart[v]+p-1. Ports are
 	// per-node bijections onto the neighbor set and fixed for the run, so
@@ -98,14 +104,6 @@ type asyncEngine struct {
 	edgeStart []int32
 	fifoLast  []Time  // last scheduled delivery time (zero value never clamps: delivery times are > 0)
 	edgeSeq   []int32 // messages sent so far on the edge
-	portUsed  [][]bool
-	digests   []uint64
-	trace     *tracer
-	limit     int // CONGEST bit limit (0 = none)
-	res       Result
-	firstSet  bool
-	first     Time
-	lastWake  Time
 	err       error
 }
 
@@ -118,11 +116,11 @@ type asyncCtx struct {
 
 var _ Context = asyncCtx{}
 
-func (c asyncCtx) Info() NodeInfo        { return c.e.infos[c.node] }
+func (c asyncCtx) Info() NodeInfo        { return c.e.s.Infos[c.node] }
 func (c asyncCtx) Now() Time             { return c.e.now }
 func (c asyncCtx) Round() int            { return -1 }
 func (c asyncCtx) Rand() *rand.Rand      { return c.e.rands[c.node] }
-func (c asyncCtx) AdversarialWake() bool { return c.e.advWoken[c.node] }
+func (c asyncCtx) AdversarialWake() bool { return c.e.acct.AdversaryWoken(c.node) }
 
 func (c asyncCtx) Send(port int, m Message) {
 	c.e.send(c.node, port, m)
@@ -150,11 +148,11 @@ func RunAsync(cfg Config, alg Algorithm) (*Result, error) {
 	if cfg.Adversary.Schedule == nil {
 		return nil, fmt.Errorf("sim: Config.Adversary.Schedule is required")
 	}
-	g := cfg.Graph
-	pm := cfg.Ports
-	if pm == nil {
-		pm = graph.IdentityPorts(g)
+	s, err := NewSetup(cfg.Graph, cfg.Ports, cfg.Model, cfg.Seed, cfg.Advice, cfg.AdviceBits)
+	if err != nil {
+		return nil, err
 	}
+	g := s.Graph
 	delays := cfg.Adversary.Delays
 	if delays == nil {
 		delays = UnitDelay{}
@@ -163,23 +161,20 @@ func RunAsync(cfg Config, alg Algorithm) (*Result, error) {
 	if err := validateSchedule(g, wakeups); err != nil {
 		return nil, err
 	}
-	if cfg.Advice != nil && len(cfg.Advice) != g.N() {
-		return nil, fmt.Errorf("sim: advice for %d nodes, graph has %d", len(cfg.Advice), g.N())
-	}
 
 	n := g.N()
 	e := &asyncEngine{
 		cfg:      cfg,
 		alg:      alg,
 		g:        g,
-		pm:       pm,
+		pm:       s.Ports,
+		s:        s,
+		acct:     NewAccounting(s, alg.Name(), cfg.TrackPorts),
+		obs:      cfg.observer(),
 		delays:   delays,
 		awake:    make([]bool, n),
-		advWoken: make([]bool, n),
 		machines: make([]Program, n),
 		rands:    make([]*rand.Rand, n),
-		infos:    make([]NodeInfo, n),
-		limit:    cfg.Model.congestLimit(n),
 	}
 	// CSR-style directed-edge index, built once: prefix sums of degrees.
 	e.edgeStart = make([]int32, n+1)
@@ -197,41 +192,6 @@ func RunAsync(cfg Config, alg Algorithm) (*Result, error) {
 		capacity = 1 << 16
 	}
 	e.queue = make(eventQueue, 0, capacity)
-	e.res = Result{
-		Algorithm:  alg.Name(),
-		N:          n,
-		M:          g.M(),
-		WakeAt:     make([]Time, n),
-		SentBy:     make([]int, n),
-		ReceivedBy: make([]int, n),
-	}
-	for v := range e.res.WakeAt {
-		e.res.WakeAt[v] = -1
-	}
-	if cfg.TrackPorts {
-		e.portUsed = make([][]bool, n)
-		for v := 0; v < n; v++ {
-			e.portUsed[v] = make([]bool, g.Degree(v))
-		}
-	}
-	if cfg.RecordDigests {
-		e.digests = make([]uint64, n)
-		for v := range e.digests {
-			e.digests[v] = fnvOffset
-		}
-	}
-	if cfg.Trace != nil {
-		e.trace = newTracer(cfg.Trace)
-	}
-	for v := 0; v < n; v++ {
-		e.infos[v] = buildNodeInfo(g, pm, cfg.Model, cfg.Advice, cfg.AdviceBits, v)
-	}
-	for _, b := range cfg.AdviceBits {
-		e.res.AdviceTotalBits += int64(b)
-		if b > e.res.AdviceMaxBits {
-			e.res.AdviceMaxBits = b
-		}
-	}
 
 	for _, w := range wakeups {
 		e.push(event{at: w.At, kind: evWake, node: w.Node})
@@ -242,20 +202,18 @@ func RunAsync(cfg Config, alg Algorithm) (*Result, error) {
 		maxEvents = DefaultMaxEvents
 	}
 
+	res := e.acct.Result()
 	heap.Init(&e.queue)
 	for e.queue.Len() > 0 {
-		if e.res.Events >= maxEvents {
+		if res.Events >= maxEvents {
 			return nil, fmt.Errorf("sim: event limit %d exceeded (algorithm %q may not terminate)", maxEvents, alg.Name())
 		}
 		ev := heap.Pop(&e.queue).(event)
 		e.now = ev.at
-		e.res.Events++
+		res.Events++
 		switch ev.kind {
 		case evWake:
-			if !e.awake[ev.node] {
-				e.advWoken[ev.node] = true
-			}
-			e.wake(ev.node)
+			e.wake(ev.node, true)
 		case evDeliver:
 			e.deliver(ev.node, ev.d)
 		}
@@ -264,15 +222,31 @@ func RunAsync(cfg Config, alg Algorithm) (*Result, error) {
 		}
 	}
 
-	e.finalize()
-	if err := e.trace.Err(); err != nil {
-		return &e.res, fmt.Errorf("sim: trace writer: %w", err)
+	e.acct.Finish(e.now)
+	if e.obs != nil {
+		if err := e.obs.OnFinish(res); err != nil {
+			return res, fmt.Errorf("sim: %w", err)
+		}
 	}
-	if cfg.StrictCongest && e.res.CongestViolations > 0 {
-		return &e.res, fmt.Errorf("sim: %d messages exceeded the CONGEST limit of %d bits",
-			e.res.CongestViolations, e.limit)
+	if cfg.StrictCongest {
+		if err := e.acct.CongestError(); err != nil {
+			return res, err
+		}
 	}
-	return &e.res, nil
+	return res, nil
+}
+
+// observer assembles the run's observer stack from the Trace and
+// RecordDigests shorthands plus the explicit Observer slot.
+func (cfg Config) observer() Observer {
+	var trace, digest Observer
+	if cfg.Trace != nil {
+		trace = NewTraceObserver(cfg.Trace)
+	}
+	if cfg.RecordDigests {
+		digest = NewDigestObserver(false)
+	}
+	return StackObservers(trace, digest, cfg.Observer)
 }
 
 func (e *asyncEngine) push(ev event) {
@@ -281,43 +255,33 @@ func (e *asyncEngine) push(ev event) {
 	heap.Push(&e.queue, ev)
 }
 
-func (e *asyncEngine) wake(v int) {
+func (e *asyncEngine) wake(v int, adversarial bool) {
 	if e.awake[v] {
 		return
 	}
 	e.awake[v] = true
-	e.res.AwakeCount++
-	e.res.WakeAt[v] = e.now
-	if !e.firstSet {
-		e.firstSet = true
-		e.first = e.now
-	}
-	if e.now > e.lastWake {
-		e.lastWake = e.now
-	}
+	e.acct.Wake(v, e.now, adversarial)
 	if e.rands[v] == nil {
-		e.rands[v] = NodeRand(e.cfg.Seed, v)
+		e.rands[v] = e.s.Rand(v)
 	}
-	e.trace.wake(e.now, v, e.advWoken[v])
-	e.machines[v] = e.alg.NewMachine(e.infos[v])
+	if e.obs != nil {
+		e.obs.OnWake(e.now, v, adversarial)
+	}
+	e.machines[v] = e.alg.NewMachine(e.s.Infos[v])
 	e.machines[v].OnWake(asyncCtx{e: e, node: v})
 }
 
 func (e *asyncEngine) deliver(v int, d Delivery) {
 	if !e.awake[v] {
-		e.wake(v)
+		e.wake(v, false)
 		if e.err != nil {
 			return
 		}
 	}
-	e.res.ReceivedBy[v]++
-	if e.portUsed != nil {
-		e.portUsed[v][d.Port-1] = true
+	e.acct.Deliver(v, d.Port)
+	if e.obs != nil {
+		e.obs.OnDeliver(e.now, v, d)
 	}
-	if e.digests != nil {
-		e.digests[v] = digestDelivery(e.digests[v], e.now, d)
-	}
-	e.trace.deliver(e.now, v, d)
 	e.machines[v].OnMessage(asyncCtx{e: e, node: v}, d)
 }
 
@@ -330,22 +294,12 @@ func (e *asyncEngine) send(from, port int, m Message) {
 		return
 	}
 	to := e.pm.Neighbor(from, port)
-	bits := m.Bits()
-	if bits < 0 {
-		e.err = fmt.Errorf("sim: message reports negative size %d bits", bits)
+	if err := e.acct.Send(from, port, m.Bits()); err != nil {
+		e.err = err
 		return
 	}
-	e.res.Messages++
-	e.res.MessageBits += int64(bits)
-	if bits > e.res.MaxMessageBits {
-		e.res.MaxMessageBits = bits
-	}
-	if e.limit > 0 && bits > e.limit {
-		e.res.CongestViolations++
-	}
-	e.res.SentBy[from]++
-	if e.portUsed != nil {
-		e.portUsed[from][port-1] = true
+	if e.obs != nil {
+		e.obs.OnSend(e.now, from, port, m)
 	}
 
 	ei := e.edgeStart[from] + int32(port) - 1
@@ -390,32 +344,4 @@ func (e *asyncEngine) sendToID(from int, id graph.NodeID, m Message) {
 		return
 	}
 	e.send(from, e.pm.PortTo(from, to), m)
-}
-
-func (e *asyncEngine) finalize() {
-	r := &e.res
-	r.AllAwake = r.AwakeCount == r.N
-	r.AdversaryWoken = e.advWoken
-	if e.firstSet {
-		r.Span = e.now - e.first
-		r.WakeSpan = e.lastWake - e.first
-	}
-	if e.portUsed != nil {
-		r.PortsUsed = make([]int, len(e.portUsed))
-		for v, used := range e.portUsed {
-			count := 0
-			for _, u := range used {
-				if u {
-					count++
-				}
-			}
-			r.PortsUsed[v] = count
-		}
-	}
-	r.TranscriptDigests = e.digests
-	for _, at := range r.WakeAt {
-		if at >= 0 {
-			r.AwakeTime += float64(e.now - at)
-		}
-	}
 }

@@ -32,6 +32,28 @@ func fnvString(h uint64, s string) uint64 {
 // for the value-type messages the algorithms use.
 func digestDelivery(h uint64, at Time, d Delivery) uint64 {
 	h = fnvUint64(h, math.Float64bits(float64(at)))
+	return digestDeliveryContent2(h, d)
+}
+
+// digestDeliveryContent hashes one delivery without its time — the
+// engine-independent view used for cross-scheduler comparisons, where
+// simulated time and the runtime's pseudo-time never agree.
+func digestDeliveryContent(d Delivery) uint64 {
+	return digestDeliveryContent2(fnvOffset, d)
+}
+
+// CombineDigests folds a slice of per-node transcript digests, in node
+// order, into a single FNV-1a value — one line that two runs (different
+// hosts, worker counts, or engines) can diff.
+func CombineDigests(digests []uint64) uint64 {
+	h := fnvOffset
+	for _, d := range digests {
+		h = fnvUint64(h, d)
+	}
+	return h
+}
+
+func digestDeliveryContent2(h uint64, d Delivery) uint64 {
 	h = fnvUint64(h, uint64(d.Port))
 	h = fnvUint64(h, uint64(d.SenderPort))
 	h = fnvUint64(h, uint64(d.From))

@@ -90,10 +90,16 @@ func (m Model) congestLimit(n int) int {
 	if m.CongestBits > 0 {
 		return m.CongestBits
 	}
-	return 4 * ceilLog2(n)
+	return 4 * CeilLog2(n)
 }
 
-func ceilLog2(n int) int {
+// CeilLog2 returns ⌈log2 n⌉ clamped below at 1 — the "known log n" of the
+// paper's model (§1.1), used to size NodeInfo.LogN, ranks, and the default
+// CONGEST limit. The clamp means n ≤ 1 (including the degenerate n = 0)
+// still grants one bit, so a single-node network has a well-defined
+// message budget. This is the single helper shared by every executor;
+// keep it the only ⌈log2⌉ in the tree.
+func CeilLog2(n int) int {
 	if n <= 1 {
 		return 1
 	}
@@ -156,8 +162,14 @@ type NodeInfo struct {
 type Context interface {
 	// Info returns the node's static information.
 	Info() NodeInfo
-	// Now returns the current simulated time (the current round number in
-	// the synchronous engine).
+	// Now returns the engine clock. Its meaning is engine-specific: the
+	// asynchronous engine reports simulated time in units of τ, the
+	// synchronous engine reports the current round number, and the
+	// goroutine runtime reports a per-node pseudo-time (the number of
+	// messages delivered to the node so far). All three clocks increase
+	// monotonically from any one node's point of view, which is the only
+	// property portable algorithms may rely on; values are not comparable
+	// across engines.
 	Now() Time
 	// Round returns the current round in the synchronous engine and -1 in
 	// the asynchronous engine.

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"riseandshine/internal/graph"
+)
+
+// Setup is the shared pre-flight state of one execution: the validated
+// topology, the port mapping, the per-node static information, the CONGEST
+// limit, and the seed from which every node-private random stream derives.
+// All three executors — the deterministic asynchronous and synchronous
+// engines in this package and the concurrent goroutine runtime — build
+// exactly one Setup and route node construction through it, so a node sees
+// identical NodeInfo and randomness regardless of which engine runs it.
+type Setup struct {
+	// Graph is the network topology.
+	Graph *graph.Graph
+	// Ports is the KT0 port mapping (never nil; identity by default).
+	Ports *graph.PortMap
+	// Model is the knowledge/bandwidth configuration.
+	Model Model
+	// Seed drives all node-private randomness via NodeRand.
+	Seed int64
+	// Infos[v] is the static information handed to node v's machine.
+	Infos []NodeInfo
+	// CongestLimit is the enforced per-message bit limit (0 = none).
+	CongestLimit int
+
+	adviceTotalBits int64
+	adviceMaxBits   int
+}
+
+// NewSetup validates the common configuration surface and assembles the
+// shared per-node state. A nil ports argument selects the identity
+// mapping. Advice, when non-nil, must assign a bit string to every node.
+func NewSetup(g *graph.Graph, ports *graph.PortMap, model Model, seed int64, advice [][]byte, adviceBits []int) (*Setup, error) {
+	if g == nil {
+		return nil, fmt.Errorf("sim: graph is required")
+	}
+	if advice != nil && len(advice) != g.N() {
+		return nil, fmt.Errorf("sim: advice for %d nodes, graph has %d", len(advice), g.N())
+	}
+	if ports == nil {
+		ports = graph.IdentityPorts(g)
+	}
+	s := &Setup{
+		Graph:        g,
+		Ports:        ports,
+		Model:        model,
+		Seed:         seed,
+		Infos:        make([]NodeInfo, g.N()),
+		CongestLimit: model.congestLimit(g.N()),
+	}
+	for v := 0; v < g.N(); v++ {
+		s.Infos[v] = buildNodeInfo(g, ports, model, advice, adviceBits, v)
+	}
+	for _, b := range adviceBits {
+		s.adviceTotalBits += int64(b)
+		if b > s.adviceMaxBits {
+			s.adviceMaxBits = b
+		}
+	}
+	return s, nil
+}
+
+// Rand returns node v's private randomness source, derived from the run
+// seed by the engine-independent NodeRand rule.
+func (s *Setup) Rand(v int) *rand.Rand { return NodeRand(s.Seed, v) }
+
+// buildNodeInfo assembles the static NodeInfo for node v under the given
+// model and advice assignment.
+func buildNodeInfo(g *graph.Graph, pm *graph.PortMap, model Model, adv [][]byte, advBits []int, v int) NodeInfo {
+	info := NodeInfo{
+		ID:     g.ID(v),
+		N:      g.N(),
+		LogN:   CeilLog2(g.N()),
+		Degree: g.Degree(v),
+	}
+	if model.Knowledge == KT1 {
+		ids := make([]graph.NodeID, info.Degree)
+		for p := 1; p <= info.Degree; p++ {
+			ids[p-1] = g.ID(pm.Neighbor(v, p))
+		}
+		info.NeighborIDs = ids
+	}
+	if adv != nil {
+		info.Advice = adv[v]
+		if advBits != nil {
+			info.AdviceBits = advBits[v]
+		}
+	}
+	return info
+}

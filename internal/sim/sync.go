@@ -28,6 +28,9 @@ type SyncConfig struct {
 	TrackPorts bool
 	// StrictCongest makes the run fail on CONGEST violations.
 	StrictCongest bool
+	// Observer, when non-nil, receives the engine's event stream with
+	// round numbers as times; stack several with StackObservers.
+	Observer Observer
 }
 
 type pendingMsg struct {
@@ -36,23 +39,23 @@ type pendingMsg struct {
 	d   Delivery
 }
 
-// syncEngine holds the mutable state of a synchronous run.
+// syncEngine holds the mutable state of a synchronous run. Setup,
+// accounting, and observation are the shared harness types; the engine
+// owns the round structure and the in-flight message buffer.
 type syncEngine struct {
 	cfg          SyncConfig
 	g            *graph.Graph
 	pm           *graph.PortMap
+	s            *Setup
+	acct         *Accounting
+	obs          Observer
 	round        int
 	awake        []bool
-	advWoken     []bool
 	machines     []SyncProgram
 	newMachineFn func(NodeInfo) SyncProgram
 	rands        []*rand.Rand
-	infos        []NodeInfo
 	inflight     []pendingMsg // sent this round, delivered next round
 	seq          int64
-	portUsed     [][]bool
-	limit        int
-	res          Result
 	err          error
 }
 
@@ -63,11 +66,11 @@ type syncCtx struct {
 
 var _ Context = syncCtx{}
 
-func (c syncCtx) Info() NodeInfo        { return c.e.infos[c.node] }
+func (c syncCtx) Info() NodeInfo        { return c.e.s.Infos[c.node] }
 func (c syncCtx) Now() Time             { return Time(c.e.round) }
 func (c syncCtx) Round() int            { return c.e.round }
 func (c syncCtx) Rand() *rand.Rand      { return c.e.rands[c.node] }
-func (c syncCtx) AdversarialWake() bool { return c.e.advWoken[c.node] }
+func (c syncCtx) AdversarialWake() bool { return c.e.acct.AdversaryWoken(c.node) }
 
 func (c syncCtx) Send(port int, m Message) { c.e.send(c.node, port, m) }
 
@@ -93,60 +96,30 @@ func RunSync(cfg SyncConfig, alg SyncAlgorithm) (*Result, error) {
 	if cfg.Schedule == nil {
 		return nil, fmt.Errorf("sim: SyncConfig.Schedule is required")
 	}
-	g := cfg.Graph
-	pm := cfg.Ports
-	if pm == nil {
-		pm = graph.IdentityPorts(g)
+	s, err := NewSetup(cfg.Graph, cfg.Ports, cfg.Model, cfg.Seed, cfg.Advice, cfg.AdviceBits)
+	if err != nil {
+		return nil, err
 	}
+	g := s.Graph
 	wakeups := cfg.Schedule.Wakeups(g)
 	if err := validateSchedule(g, wakeups); err != nil {
 		return nil, err
-	}
-	if cfg.Advice != nil && len(cfg.Advice) != g.N() {
-		return nil, fmt.Errorf("sim: advice for %d nodes, graph has %d", len(cfg.Advice), g.N())
 	}
 
 	n := g.N()
 	e := &syncEngine{
 		cfg:          cfg,
 		g:            g,
-		pm:           pm,
+		pm:           s.Ports,
+		s:            s,
+		acct:         NewAccounting(s, alg.Name(), cfg.TrackPorts),
+		obs:          cfg.Observer,
 		awake:        make([]bool, n),
-		advWoken:     make([]bool, n),
 		machines:     make([]SyncProgram, n),
 		newMachineFn: alg.NewMachine,
 		rands:        make([]*rand.Rand, n),
-		infos:        make([]NodeInfo, n),
-		limit:        cfg.Model.congestLimit(n),
 	}
-	e.res = Result{
-		Algorithm:  alg.Name(),
-		N:          n,
-		M:          g.M(),
-		WakeAt:     make([]Time, n),
-		SentBy:     make([]int, n),
-		ReceivedBy: make([]int, n),
-	}
-	for v := range e.res.WakeAt {
-		e.res.WakeAt[v] = -1
-	}
-	if cfg.TrackPorts {
-		e.portUsed = make([][]bool, n)
-		for v := 0; v < n; v++ {
-			e.portUsed[v] = make([]bool, g.Degree(v))
-		}
-	}
-	for v := 0; v < n; v++ {
-		e.infos[v] = buildNodeInfo(g, pm, cfg.Model, cfg.Advice, cfg.AdviceBits, v)
-	}
-	if cfg.AdviceBits != nil {
-		for _, b := range cfg.AdviceBits {
-			e.res.AdviceTotalBits += int64(b)
-			if b > e.res.AdviceMaxBits {
-				e.res.AdviceMaxBits = b
-			}
-		}
-	}
+	res := e.acct.Result()
 
 	// Bucket the wake schedule by round.
 	wakeByRound := make(map[int][]int)
@@ -173,7 +146,6 @@ func RunSync(cfg SyncConfig, alg SyncAlgorithm) (*Result, error) {
 	}
 
 	lastActive := firstWakeRound
-	lastWoken := firstWakeRound
 	for e.round = firstWakeRound; ; e.round++ {
 		if e.round-firstWakeRound > maxRounds {
 			return nil, fmt.Errorf("sim: round limit %d exceeded (algorithm %q may not terminate)", maxRounds, alg.Name())
@@ -189,9 +161,7 @@ func RunSync(cfg SyncConfig, alg SyncAlgorithm) (*Result, error) {
 		// 1. Adversarial wake-ups scheduled for this round.
 		for _, v := range wakeByRound[e.round] {
 			if !e.awake[v] {
-				e.advWoken[v] = true
-				e.wakeNode(v)
-				lastWoken = e.round
+				e.wakeNode(v, true)
 				active = true
 			}
 		}
@@ -210,13 +180,12 @@ func RunSync(cfg SyncConfig, alg SyncAlgorithm) (*Result, error) {
 		sort.Ints(receivers)
 		for _, v := range receivers {
 			if !e.awake[v] {
-				e.wakeNode(v)
-				lastWoken = e.round
+				e.wakeNode(v, false)
 			}
-			e.res.ReceivedBy[v] += len(inbox[v])
-			if e.portUsed != nil {
-				for _, d := range inbox[v] {
-					e.portUsed[v][d.Port-1] = true
+			for _, d := range inbox[v] {
+				e.acct.Deliver(v, d.Port)
+				if e.obs != nil {
+					e.obs.OnDeliver(Time(e.round), v, d)
 				}
 			}
 		}
@@ -234,7 +203,7 @@ func RunSync(cfg SyncConfig, alg SyncAlgorithm) (*Result, error) {
 				return nil, e.err
 			}
 		}
-		e.res.Events++
+		res.Events++
 		if len(e.inflight) > 0 {
 			active = true
 		}
@@ -248,33 +217,19 @@ func RunSync(cfg SyncConfig, alg SyncAlgorithm) (*Result, error) {
 		}
 	}
 
-	e.res.Rounds = lastActive - firstWakeRound
-	e.res.Span = Time(e.res.Rounds)
-	e.res.WakeSpan = Time(lastWoken - firstWakeRound)
-	e.res.AllAwake = e.res.AwakeCount == n
-	e.res.AdversaryWoken = e.advWoken
-	for _, at := range e.res.WakeAt {
-		if at >= 0 {
-			e.res.AwakeTime += float64(Time(lastActive) - at)
+	res.Rounds = lastActive - firstWakeRound
+	e.acct.Finish(Time(lastActive))
+	if e.obs != nil {
+		if err := e.obs.OnFinish(res); err != nil {
+			return res, fmt.Errorf("sim: %w", err)
 		}
 	}
-	if e.portUsed != nil {
-		e.res.PortsUsed = make([]int, n)
-		for v, used := range e.portUsed {
-			count := 0
-			for _, u := range used {
-				if u {
-					count++
-				}
-			}
-			e.res.PortsUsed[v] = count
+	if cfg.StrictCongest {
+		if err := e.acct.CongestError(); err != nil {
+			return res, err
 		}
 	}
-	if cfg.StrictCongest && e.res.CongestViolations > 0 {
-		return &e.res, fmt.Errorf("sim: %d messages exceeded the CONGEST limit of %d bits",
-			e.res.CongestViolations, e.limit)
-	}
-	return &e.res, nil
+	return res, nil
 }
 
 func (e *syncEngine) allQuiescent() bool {
@@ -289,14 +244,16 @@ func (e *syncEngine) allQuiescent() bool {
 	return true
 }
 
-func (e *syncEngine) wakeNode(v int) {
+func (e *syncEngine) wakeNode(v int, adversarial bool) {
 	e.awake[v] = true
-	e.res.AwakeCount++
-	e.res.WakeAt[v] = Time(e.round)
+	e.acct.Wake(v, Time(e.round), adversarial)
 	if e.rands[v] == nil {
-		e.rands[v] = NodeRand(e.cfg.Seed, v)
+		e.rands[v] = e.s.Rand(v)
 	}
-	e.machines[v] = e.newMachineFn(e.infos[v])
+	if e.obs != nil {
+		e.obs.OnWake(Time(e.round), v, adversarial)
+	}
+	e.machines[v] = e.newMachineFn(e.s.Infos[v])
 	e.machines[v].OnWake(syncCtx{e: e, node: v})
 }
 
@@ -305,22 +262,12 @@ func (e *syncEngine) send(from, port int, m Message) {
 		return
 	}
 	to := e.pm.Neighbor(from, port)
-	bits := m.Bits()
-	if bits < 0 {
-		e.err = fmt.Errorf("sim: message reports negative size %d bits", bits)
+	if err := e.acct.Send(from, port, m.Bits()); err != nil {
+		e.err = err
 		return
 	}
-	e.res.Messages++
-	e.res.MessageBits += int64(bits)
-	if bits > e.res.MaxMessageBits {
-		e.res.MaxMessageBits = bits
-	}
-	if e.limit > 0 && bits > e.limit {
-		e.res.CongestViolations++
-	}
-	e.res.SentBy[from]++
-	if e.portUsed != nil {
-		e.portUsed[from][port-1] = true
+	if e.obs != nil {
+		e.obs.OnSend(Time(e.round), from, port, m)
 	}
 	fromID := graph.NodeID(-1)
 	if e.cfg.Model.Knowledge == KT1 {
@@ -350,29 +297,4 @@ func (e *syncEngine) sendToID(from int, id graph.NodeID, m Message) {
 		return
 	}
 	e.send(from, e.pm.PortTo(from, to), m)
-}
-
-// buildNodeInfo assembles the static NodeInfo for node v under the given
-// model and advice assignment.
-func buildNodeInfo(g *graph.Graph, pm *graph.PortMap, model Model, adv [][]byte, advBits []int, v int) NodeInfo {
-	info := NodeInfo{
-		ID:     g.ID(v),
-		N:      g.N(),
-		LogN:   ceilLog2(g.N()),
-		Degree: g.Degree(v),
-	}
-	if model.Knowledge == KT1 {
-		ids := make([]graph.NodeID, info.Degree)
-		for p := 1; p <= info.Degree; p++ {
-			ids[p-1] = g.ID(pm.Neighbor(v, p))
-		}
-		info.NeighborIDs = ids
-	}
-	if adv != nil {
-		info.Advice = adv[v]
-		if advBits != nil {
-			info.AdviceBits = advBits[v]
-		}
-	}
-	return info
 }

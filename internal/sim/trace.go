@@ -5,9 +5,9 @@ import (
 	"io"
 )
 
-// Tracer receives a CSV line per engine event when installed via
-// Config.Trace. The stream starts with a header line; each subsequent
-// line is
+// Tracer is the CSV backend of TraceObserver (installed via Config.Trace
+// or an explicit observer stack). The stream starts with a header line;
+// each subsequent line is
 //
 //	time,kind,node,port,sender_port,from,bits,payload
 //
@@ -21,8 +21,6 @@ type tracer struct {
 	wrote  bool
 	events int
 }
-
-func newTracer(w io.Writer) *tracer { return &tracer{w: w} }
 
 func (t *tracer) header() {
 	if t == nil || t.wrote || t.err != nil {

@@ -61,6 +61,25 @@ type (
 	Delayer = sim.Delayer
 	// GraphBuilder accumulates edges for a custom topology.
 	GraphBuilder = graph.Builder
+	// Observer receives an engine's event stream (wakes, deliveries,
+	// sends, finish); install via RunConfig.Observer.
+	Observer = sim.Observer
+	// TraceObserver writes the CSV event trace.
+	TraceObserver = sim.TraceObserver
+	// DigestObserver folds deliveries into per-node transcript digests.
+	DigestObserver = sim.DigestObserver
+	// CountObserver tallies per-node wake/delivery/send histograms.
+	CountObserver = sim.CountObserver
+)
+
+// Observer constructors and composition (see internal/sim for semantics).
+var (
+	NewTraceObserver  = sim.NewTraceObserver
+	NewDigestObserver = sim.NewDigestObserver
+	NewCountObserver  = sim.NewCountObserver
+	StackObservers    = sim.StackObservers
+	// CombineDigests folds per-node transcript digests into one value.
+	CombineDigests = sim.CombineDigests
 )
 
 // NewGraphBuilder returns a builder for a custom graph on n nodes.

@@ -36,9 +36,17 @@ type RunConfig struct {
 	Model Model
 	// StrictCongest fails the run if a message exceeds the CONGEST limit.
 	StrictCongest bool
-	// Trace, when non-nil, receives a CSV event trace (asynchronous
-	// algorithms only; ignored for synchronous ones).
+	// Trace, when non-nil, receives a CSV event trace from either engine.
+	// Shorthand for stacking NewTraceObserver(w) onto Observer.
 	Trace io.Writer
+	// RecordDigests publishes per-node FNV transcript digests into
+	// Result.TranscriptDigests. Shorthand for stacking NewDigestObserver
+	// onto Observer.
+	RecordDigests bool
+	// Observer, when non-nil, receives the engine's event stream; stack
+	// several with StackObservers. Runs without any observer keep the
+	// engines' allocation-free hot path.
+	Observer Observer
 }
 
 // Run executes the named algorithm, running its oracle first if the scheme
@@ -80,6 +88,15 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 
 	if info.Synchronous {
+		// The synchronous engine takes only the explicit observer slot, so
+		// the façade desugars Trace/RecordDigests into the stack here.
+		var trace, digests sim.Observer
+		if cfg.Trace != nil {
+			trace = sim.NewTraceObserver(cfg.Trace)
+		}
+		if cfg.RecordDigests {
+			digests = sim.NewDigestObserver(false)
+		}
 		return sim.RunSync(sim.SyncConfig{
 			Graph:         cfg.Graph,
 			Ports:         ports,
@@ -89,6 +106,7 @@ func Run(cfg RunConfig) (*Result, error) {
 			Advice:        adviceBytes,
 			AdviceBits:    adviceBits,
 			StrictCongest: cfg.StrictCongest,
+			Observer:      sim.StackObservers(trace, digests, cfg.Observer),
 		}, info.newSync(cfg.Options))
 	}
 	return sim.RunAsync(sim.Config{
@@ -104,5 +122,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		AdviceBits:    adviceBits,
 		StrictCongest: cfg.StrictCongest,
 		Trace:         cfg.Trace,
+		RecordDigests: cfg.RecordDigests,
+		Observer:      cfg.Observer,
 	}, info.newAsync(cfg.Options))
 }

@@ -1,0 +1,116 @@
+// Package observer exercises the maporder analyzer over the engine-harness
+// observer idiom: implementations that aggregate per-node event statistics
+// into maps during the run and publish them in OnFinish. Publishing must
+// not leak map iteration order — the deterministic engines guarantee
+// byte-identical output, and an observer is part of that output.
+package observer
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Delivery mirrors the engine's delivery record.
+type Delivery struct {
+	Port int
+	From int
+}
+
+// Result mirrors the engine's metrics container.
+type Result struct {
+	N      int
+	Hot    []int
+	Report string
+}
+
+// Observer mirrors the engine's event-stream interface.
+type Observer interface {
+	OnWake(at float64, node int, adversarial bool)
+	OnDeliver(at float64, node int, d Delivery)
+	OnSend(at float64, from, port int)
+	OnFinish(res *Result) error
+}
+
+// hotspots tallies deliveries per node and publishes the busiest nodes.
+type hotspots struct {
+	byNode map[int]int
+}
+
+func (o *hotspots) OnWake(float64, int, bool) {}
+
+func (o *hotspots) OnDeliver(_ float64, node int, _ Delivery) {
+	if o.byNode == nil {
+		o.byNode = make(map[int]int)
+	}
+	o.byNode[node]++
+}
+
+func (o *hotspots) OnSend(float64, int, int) {}
+
+// OnFinish publishes with the collect-then-sort idiom: accepted.
+func (o *hotspots) OnFinish(res *Result) error {
+	nodes := make([]int, 0, len(o.byNode))
+	for v := range o.byNode {
+		nodes = append(nodes, v)
+	}
+	sort.Ints(nodes)
+	res.Hot = nodes
+	return nil
+}
+
+// portLoad tallies sends per port.
+type portLoad struct {
+	byPort map[int]int
+}
+
+func (o *portLoad) OnWake(float64, int, bool) {}
+
+func (o *portLoad) OnDeliver(float64, int, Delivery) {}
+
+func (o *portLoad) OnSend(_ float64, _ int, port int) {
+	if o.byPort == nil {
+		o.byPort = make(map[int]int)
+	}
+	o.byPort[port]++
+}
+
+// OnFinish formats the report in iteration order: the report string is
+// engine output, so the order leak is flagged.
+func (o *portLoad) OnFinish(res *Result) error {
+	for port, n := range o.byPort { // want `map iteration order can escape`
+		res.Report += fmt.Sprintf("port %d: %d\n", port, n)
+	}
+	return nil
+}
+
+// totals reduces commutatively inside OnFinish: accepted.
+type totals struct {
+	byNode map[int]int
+}
+
+func (o *totals) OnWake(float64, int, bool) {}
+
+func (o *totals) OnDeliver(_ float64, node int, _ Delivery) {
+	if o.byNode == nil {
+		o.byNode = make(map[int]int)
+	}
+	o.byNode[node]++
+}
+
+func (o *totals) OnSend(float64, int, int) {}
+
+func (o *totals) OnFinish(res *Result) error {
+	sum := 0
+	for _, n := range o.byNode {
+		sum += n
+	}
+	res.N = sum
+	return nil
+}
+
+// The fixture types really are observers.
+var (
+	_ Observer = (*hotspots)(nil)
+	_ Observer = (*portLoad)(nil)
+	_ Observer = (*totals)(nil)
+)
