@@ -446,6 +446,38 @@ func BenchmarkRunAsync(b *testing.B) {
 	}
 }
 
+// BenchmarkRunAsyncMetrics repeats the dense BenchmarkRunAsync workload
+// with the metrics observer attached, measuring the observation overhead.
+// The histograms are allocation-free and lock-free, so the observed run
+// should stay within ~1.3x of the unobserved complete:2000 baseline.
+func BenchmarkRunAsyncMetrics(b *testing.B) {
+	g, err := experiment.ParseGraph("complete:2000", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("complete:2000", func(b *testing.B) {
+		events := 0
+		for i := 0; i < b.N; i++ {
+			reg := riseandshine.NewMetricsRegistry()
+			res, err := sim.RunAsync(sim.Config{
+				Graph: g,
+				Model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+				Adversary: sim.Adversary{
+					Schedule: sim.WakeAll{},
+					Delays:   sim.RandomDelay{Seed: int64(i)},
+				},
+				Seed:     int64(i),
+				Observer: riseandshine.NewMetricsObserver(reg, g.N()),
+			}, core.Flood{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += res.Events
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	})
+}
+
 // BenchmarkRunner measures harness scaling: a fixed 16-run matrix executed
 // at increasing worker counts. ns/op is the wall time of the full matrix;
 // the complexity metrics are identical across worker counts by

@@ -11,11 +11,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // /debug/pprof on the -http listener
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"riseandshine"
 	"riseandshine/internal/experiment"
@@ -42,8 +47,26 @@ func run() error {
 		workers  = flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
 		csvPath  = flag.String("csv", "", "write the sweep as CSV to this path (optional)")
 		digest   = flag.Bool("digest", false, "print one combined FNV transcript digest per size (byte-identical across hosts and worker counts)")
+
+		metricsPath = flag.String("metrics", "", "write one deterministic metrics JSON record per run (matrix order) to this JSONL path")
+		progress    = flag.Bool("progress", false, "report completed/total runs with ETA on stderr")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this path")
+		memProfile  = flag.String("memprofile", "", "write a heap profile (taken after the sweep) to this path")
+		httpAddr    = flag.String("http", "", "serve live /metrics and /debug/pprof on this address while the sweep runs")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var sizes []int
 	for _, s := range strings.Split(*sizesStr, ",") {
@@ -55,6 +78,7 @@ func run() error {
 	}
 
 	// One spec per (size, seed) cell, in deterministic matrix order.
+	recordMetrics := *metricsPath != "" || *httpAddr != ""
 	var specs []experiment.RunSpec
 	for _, n := range sizes {
 		for s := 0; s < *seeds; s++ {
@@ -66,13 +90,62 @@ func run() error {
 				Delays:        *delays,
 				RandomPorts:   true,
 				RecordDigests: *digest,
+				Metrics:       recordMetrics,
 			})
 		}
 	}
-	runner := experiment.Runner{Workers: *workers, MasterSeed: *seed}
+	runner := experiment.Runner{Workers: *workers, MasterSeed: *seed, Now: time.Now}
+
+	// Live observability: sweep-level counters plus every finished run's
+	// snapshot merged in, exposed over HTTP while the sweep runs. The live
+	// registry is scrape-time state only — the deterministic outputs below
+	// come from the per-run snapshots in matrix order.
+	live := riseandshine.NewMetricsRegistry()
+	runsDone := live.NewCounter("sweep_runs_completed_total", "runs finished so far")
+	riseandshine.NewMetricsObserver(live, 0) // pre-register the sim_* metrics so merges inherit their help text
+	if *httpAddr != "" {
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := live.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: http:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "sweep: serving /metrics and /debug/pprof on %s\n", *httpAddr)
+	}
+
+	start := time.Now()
+	if *progress || *httpAddr != "" {
+		runner.Progress = func(done, total int, r experiment.RunResult) {
+			runsDone.Inc()
+			if r.Metrics != nil {
+				live.Merge(*r.Metrics)
+			}
+			if *progress {
+				elapsed := time.Since(start)
+				eta := time.Duration(0)
+				if done > 0 {
+					eta = time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+				}
+				fmt.Fprintf(os.Stderr, "sweep: %d/%d runs (%.0f%%) elapsed %s eta %s\n",
+					done, total, 100*float64(done)/float64(total),
+					elapsed.Round(time.Millisecond), eta.Round(time.Millisecond))
+			}
+		}
+	}
 	results, err := runner.Run(specs)
 	if err != nil {
 		return err
+	}
+	if *metricsPath != "" {
+		if err := writeMetricsJSONL(*metricsPath, specs, results); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sweep: wrote %d metrics records to %s\n", len(results), *metricsPath)
 	}
 
 	tbl := &experiment.Table{Header: []string{"n", "m", "time", "wake-span", "messages", "bits", "advice-max", "advice-avg"}}
@@ -140,5 +213,59 @@ func run() error {
 		stats.Series{Name: "messages", Marker: '*', Points: msgPts},
 		stats.Series{Name: "time", Marker: 'o', Points: timePts},
 	))
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// metricsRecord is one line of the -metrics JSONL output. Field order is
+// fixed and every value derives from the run's (seed, index), never from
+// wall time or scheduling, so the file is byte-identical across hosts and
+// worker counts.
+type metricsRecord struct {
+	Graph     string                        `json:"graph"`
+	Algorithm string                        `json:"alg"`
+	N         int                           `json:"n"`
+	M         int                           `json:"m"`
+	Seed      int64                         `json:"seed"`
+	Metrics   *riseandshine.MetricsSnapshot `json:"metrics"`
+	Frontier  []riseandshine.FrontierPoint  `json:"frontier"`
+}
+
+// writeMetricsJSONL writes one record per run, in matrix order.
+func writeMetricsJSONL(path string, specs []experiment.RunSpec, results []experiment.RunResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for i, rr := range results {
+		rec := metricsRecord{
+			Graph:     specs[i].Graph,
+			Algorithm: specs[i].Algorithm,
+			N:         rr.Res.N,
+			M:         rr.Res.M,
+			Seed:      rr.Seed,
+			Metrics:   rr.Metrics,
+			Frontier:  rr.Frontier,
+		}
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if _, err := f.Write(data); err != nil {
+			return err
+		}
+	}
+	return f.Close()
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +41,8 @@ func run() error {
 		curvePath = flag.String("wakecurve", "", "write the per-node wake times as CSV to this path")
 		tracePath = flag.String("trace", "", "write the full event trace as CSV to this path")
 		digest    = flag.Bool("digest", false, "record per-node transcript digests and print the run's combined FNV-64a digest")
+		metrics   = flag.String("metrics", "", "write the run's metrics (deterministic JSON: snapshot + frontier) to this path, '-' for stdout, and print a quantile summary")
+		critical  = flag.Bool("critical-path", false, "trace the causal DAG and print the critical path (longest causal chain ending at the last wake)")
 	)
 	flag.Parse()
 
@@ -90,6 +93,18 @@ func run() error {
 		cfg.Trace = f
 	}
 	cfg.RecordDigests = *digest
+	var reg *riseandshine.MetricsRegistry
+	var mobs *riseandshine.MetricsObserver
+	if *metrics != "" {
+		reg = riseandshine.NewMetricsRegistry()
+		mobs = riseandshine.NewMetricsObserver(reg, g.N())
+		cfg.Observer = riseandshine.StackObservers(cfg.Observer, mobs)
+	}
+	var cobs *riseandshine.CausalObserver
+	if *critical {
+		cobs = riseandshine.NewCausalObserver(g, ports)
+		cfg.Observer = riseandshine.StackObservers(cfg.Observer, cobs)
+	}
 	res, err := riseandshine.Run(cfg)
 	if err != nil {
 		return err
@@ -132,10 +147,64 @@ func run() error {
 		}
 		fmt.Printf("wakecurve  wrote %s\n", *curvePath)
 	}
+	if mobs != nil {
+		if err := reportMetrics(*metrics, reg, mobs); err != nil {
+			return err
+		}
+	}
+	if cobs != nil {
+		printCriticalPath(cobs.Report())
+	}
 	if !res.AllAwake {
 		return fmt.Errorf("%d of %d nodes never woke up", res.N-res.AwakeCount, res.N)
 	}
 	return nil
+}
+
+// reportMetrics writes the run's deterministic metrics record (snapshot
+// plus frontier time series, one JSON line) and prints a quantile summary
+// of the recorded distributions.
+func reportMetrics(path string, reg *riseandshine.MetricsRegistry, mobs *riseandshine.MetricsObserver) error {
+	snap := reg.Snapshot()
+	record := struct {
+		Metrics  riseandshine.MetricsSnapshot `json:"metrics"`
+		Frontier []riseandshine.FrontierPoint `json:"frontier"`
+	}{snap, mobs.Frontier()}
+	data, err := json.Marshal(record)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("metrics    wrote %s\n", path)
+	}
+	for _, h := range snap.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Printf("metrics    %-18s n=%-7d p50=%-9.4g p90=%-9.4g p99=%.4g\n",
+			h.Name, h.Count, h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99))
+	}
+	return nil
+}
+
+// printCriticalPath renders the causal tracer's report: the longest causal
+// chain of messages ending at the last wake-up.
+func printCriticalPath(rep riseandshine.CausalReport) {
+	fmt.Printf("causal     critical path %d hops to node %d (woke at %.2f); max causal depth %d\n",
+		rep.CriticalPathLength, rep.LastWakeNode, float64(rep.LastWakeAt), rep.MaxDepth)
+	for _, step := range rep.Path {
+		kind := "deliver"
+		if step.Depth == 0 {
+			kind = "origin"
+		}
+		fmt.Printf("causal     %3d  %-7s node %-6d t=%.2f\n", step.Depth, kind, step.Node, float64(step.At))
+	}
 }
 
 // writeWakeCurve dumps (node, wake time, adversary-woken) rows — the raw

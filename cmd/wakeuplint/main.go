@@ -57,6 +57,7 @@ var deterministicPrefixes = []string{
 	"riseandshine/internal/runtime",
 	"riseandshine/internal/experiment",
 	"riseandshine/internal/graph",
+	"riseandshine/internal/metrics",
 }
 
 // relevant reports whether a package import path is inside the

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"riseandshine"
 	"riseandshine/internal/graph"
+	"riseandshine/internal/metrics"
 	"riseandshine/internal/sim"
 )
 
@@ -35,6 +37,12 @@ type RunSpec struct {
 	// Res.TranscriptDigests, so sweeps can compare executions bit-for-bit
 	// across worker counts and hosts.
 	RecordDigests bool
+	// Metrics records the run into a fresh metrics registry and publishes
+	// the snapshot plus the frontier time series on the RunResult.
+	Metrics bool
+	// CriticalPath traces the causal DAG and publishes its report on the
+	// RunResult.
+	CriticalPath bool
 }
 
 // RunResult pairs one completed run with the seed it used and the graph it
@@ -43,6 +51,18 @@ type RunResult struct {
 	Seed  int64
 	Graph *graph.Graph
 	Res   *sim.Result
+
+	// Duration is the run's wall-clock time as read from the Runner's
+	// injected clock; zero without one. Wall-clock time lives in the
+	// driver and is excluded from every deterministic output.
+	Duration time.Duration
+	// Metrics and Frontier carry the run's metric snapshot and frontier
+	// time series when the spec enables Metrics.
+	Metrics  *metrics.Snapshot
+	Frontier []metrics.FrontierPoint
+	// Causal carries the critical-path report when the spec enables
+	// CriticalPath.
+	Causal *sim.CausalReport
 }
 
 // Runner executes a slice of RunSpecs over a bounded worker pool.
@@ -56,6 +76,18 @@ type Runner struct {
 	Workers int
 	// MasterSeed is the root of all per-run seed derivation.
 	MasterSeed int64
+	// Progress, when non-nil, is invoked after each run completes with the
+	// number of completed runs, the total, and the run's result (e.g. to
+	// merge its metrics snapshot into a live registry). Calls are
+	// serialized, but completion order depends on scheduling — drivers may
+	// surface it to a human (a progress line on stderr, a /metrics
+	// endpoint) and must not derive deterministic output from it.
+	Progress func(done, total int, r RunResult)
+	// Now, when non-nil, supplies the wall-clock timestamps behind
+	// RunResult.Duration. The clock is injected by the driver so the
+	// deterministic packages never read time themselves (see the detrand
+	// analyzer); nil leaves durations zero.
+	Now func() time.Time
 }
 
 // Run executes all specs and returns their results in input order. The
@@ -71,6 +103,8 @@ func (r Runner) Run(specs []RunSpec) ([]RunResult, error) {
 	if workers > len(specs) {
 		workers = len(specs)
 	}
+	var mu sync.Mutex
+	done := 0
 	indices := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -78,7 +112,20 @@ func (r Runner) Run(specs []RunSpec) ([]RunResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range indices {
+				var start time.Time
+				if r.Now != nil {
+					start = r.Now()
+				}
 				results[i], errs[i] = runOne(specs[i], sim.RunSeed(r.MasterSeed, i))
+				if r.Now != nil {
+					results[i].Duration = r.Now().Sub(start)
+				}
+				if r.Progress != nil {
+					mu.Lock()
+					done++
+					r.Progress(done, len(specs), results[i])
+					mu.Unlock()
+				}
 			}
 		}()
 	}
@@ -121,6 +168,22 @@ func runOne(spec RunSpec, seed int64) (RunResult, error) {
 	if spec.RandomPorts {
 		ports = riseandshine.RandomPorts(g, seed)
 	}
+	// Per-run observers: each run records into its own registry and
+	// tracer, so workers never contend and the published snapshots are
+	// independent of scheduling.
+	var reg *metrics.Registry
+	var mobs *metrics.Observer
+	var cobs *sim.CausalObserver
+	var stack []sim.Observer
+	if spec.Metrics {
+		reg = metrics.NewRegistry()
+		mobs = metrics.NewObserver(reg, g.N())
+		stack = append(stack, mobs)
+	}
+	if spec.CriticalPath {
+		cobs = sim.NewCausalObserver(g, ports)
+		stack = append(stack, cobs)
+	}
 	res, err := riseandshine.Run(riseandshine.RunConfig{
 		Graph:         g,
 		Algorithm:     spec.Algorithm,
@@ -130,9 +193,20 @@ func runOne(spec RunSpec, seed int64) (RunResult, error) {
 		Ports:         ports,
 		Seed:          seed,
 		RecordDigests: spec.RecordDigests,
+		Observer:      sim.StackObservers(stack...),
 	})
 	if err != nil {
 		return RunResult{}, err
 	}
-	return RunResult{Seed: seed, Graph: g, Res: res}, nil
+	rr := RunResult{Seed: seed, Graph: g, Res: res}
+	if mobs != nil {
+		snap := reg.Snapshot()
+		rr.Metrics = &snap
+		rr.Frontier = mobs.Frontier()
+	}
+	if cobs != nil {
+		rep := cobs.Report()
+		rr.Causal = &rep
+	}
+	return rr, nil
 }

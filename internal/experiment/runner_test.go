@@ -1,8 +1,12 @@
 package experiment
 
 import (
+	"fmt"
 	"runtime"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"riseandshine/internal/sim"
 )
@@ -136,5 +140,119 @@ func TestRunnerErrorIsDeterministic(t *testing.T) {
 	}
 	if msgs[0] != msgs[1] {
 		t.Errorf("error depends on worker count: %q vs %q", msgs[0], msgs[1])
+	}
+}
+
+// renderObservability aggregates the observability outputs into the exact
+// bytes a metrics-enabled sweep would write: one JSON snapshot line plus a
+// critical-path summary per run. Durations are deliberately absent — wall
+// time is never part of deterministic output.
+func renderObservability(t *testing.T, results []RunResult) string {
+	t.Helper()
+	var buf strings.Builder
+	for i, rr := range results {
+		if rr.Metrics == nil || rr.Causal == nil {
+			t.Fatalf("run %d: missing metrics (%v) or causal report (%v)", i, rr.Metrics == nil, rr.Causal == nil)
+		}
+		if err := rr.Metrics.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&buf, "critical-path %d last-wake %d frontier %d\n",
+			rr.Causal.CriticalPathLength, rr.Causal.LastWakeNode, len(rr.Frontier))
+	}
+	return buf.String()
+}
+
+// TestRunnerObservabilityDeterministicAcrossWorkers extends the harness's
+// byte-identity guarantee to the observability outputs: metric snapshots,
+// frontier series, and causal reports agree at every worker count.
+func TestRunnerObservabilityDeterministicAcrossWorkers(t *testing.T) {
+	specs := testMatrix(2)
+	for i := range specs {
+		specs[i].Metrics = true
+		specs[i].CriticalPath = true
+	}
+	want, err := Runner{Workers: 1, MasterSeed: 11}.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOut := renderObservability(t, want)
+	for _, workers := range []int{2, runtime.NumCPU()} {
+		got, err := Runner{Workers: workers, MasterSeed: 11}.Run(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotOut := renderObservability(t, got); gotOut != wantOut {
+			t.Errorf("workers=%d observability output differs from sequential:\n--- sequential\n%s--- parallel\n%s",
+				workers, wantOut, gotOut)
+		}
+	}
+}
+
+// TestRunnerProgress: the callback fires once per run, serialized, with a
+// monotonically increasing completed count reaching the total.
+func TestRunnerProgress(t *testing.T) {
+	specs := testMatrix(2)
+	var calls []int
+	r := Runner{
+		Workers:    3,
+		MasterSeed: 5,
+		Progress: func(done, total int, r RunResult) {
+			if total != len(specs) {
+				t.Errorf("progress total = %d, want %d", total, len(specs))
+			}
+			if r.Res == nil || !r.Res.AllAwake {
+				t.Errorf("progress call %d delivered an incomplete result", done)
+			}
+			calls = append(calls, done) // serialized by the Runner; no locking here
+		},
+	}
+	if _, err := r.Run(specs); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != len(specs) {
+		t.Fatalf("progress fired %d times, want %d", len(calls), len(specs))
+	}
+	for i, done := range calls {
+		if done != i+1 {
+			t.Fatalf("progress call %d reported done=%d, want %d", i, done, i+1)
+		}
+	}
+}
+
+// TestRunnerDuration: an injected clock yields positive durations; without
+// one, durations stay zero and the deterministic outputs carry no trace of
+// wall time.
+func TestRunnerDuration(t *testing.T) {
+	specs := testMatrix(1)
+	var mu sync.Mutex
+	tick := int64(0)
+	r := Runner{
+		Workers:    2,
+		MasterSeed: 5,
+		Now: func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			tick++
+			return time.Unix(0, tick*int64(time.Millisecond))
+		},
+	}
+	results, err := r.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rr := range results {
+		if rr.Duration <= 0 {
+			t.Errorf("run %d: duration %v, want > 0 under an injected clock", i, rr.Duration)
+		}
+	}
+	bare, err := Runner{Workers: 2, MasterSeed: 5}.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rr := range bare {
+		if rr.Duration != 0 {
+			t.Errorf("run %d: duration %v without a clock, want 0", i, rr.Duration)
+		}
 	}
 }

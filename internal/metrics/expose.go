@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"riseandshine/internal/stats"
+)
+
+// Snapshot is a point-in-time copy of a registry, ordered by metric name
+// within each kind. Its JSON encoding is deterministic: field order is
+// fixed by the struct layout, slices are sorted by name, and floats render
+// through strconv's shortest form, which is host-independent — the basis
+// of the harness's byte-identical metrics records.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// CounterSnapshot is one counter's value.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's value.
+type GaugeSnapshot struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's distribution. Buckets lists only
+// the non-empty buckets, in increasing exponent order, with per-bucket
+// (not cumulative) counts.
+type HistogramSnapshot struct {
+	Name    string           `json:"name"`
+	Count   uint64           `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// BucketSnapshot is one non-empty histogram bucket: the bucket covers
+// (2^(Exp-1), 2^Exp], with Exp = maxExp+1 denoting the +Inf overflow
+// bucket (see UpperBound).
+type BucketSnapshot struct {
+	Exp   int    `json:"exp"`
+	Count uint64 `json:"count"`
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the log-bucketed
+// distribution via stats.BucketQuantile: linear interpolation inside the
+// bucket containing the quantile rank. It returns NaN on an empty
+// histogram; ranks falling in the overflow bucket report the bucket's
+// lower bound.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if len(h.Buckets) == 0 {
+		return math.NaN()
+	}
+	// Buckets lists only non-empty buckets, but each exponent pins the
+	// bucket's true bounds; insert zero-count markers at the lower bound of
+	// every bucket (including the first) so interpolation never stretches
+	// across a gap of empty buckets.
+	bounds := make([]float64, 0, 2*len(h.Buckets))
+	counts := make([]uint64, 0, 2*len(h.Buckets))
+	prevExp := h.Buckets[0].Exp - 1
+	bounds = append(bounds, UpperBound(prevExp))
+	counts = append(counts, 0)
+	for _, b := range h.Buckets {
+		if b.Exp-1 > prevExp {
+			bounds = append(bounds, UpperBound(b.Exp-1))
+			counts = append(counts, 0)
+		}
+		bounds = append(bounds, UpperBound(b.Exp))
+		counts = append(counts, b.Count)
+		prevExp = b.Exp
+	}
+	return stats.BucketQuantile(q, bounds, counts)
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   []CounterSnapshot{},
+		Gauges:     []GaugeSnapshot{},
+		Histograms: []HistogramSnapshot{},
+	}
+	for _, name := range r.sortedNames() {
+		r.mu.Lock()
+		m := r.byName[name]
+		r.mu.Unlock()
+		switch m := m.(type) {
+		case *Counter:
+			s.Counters = append(s.Counters, CounterSnapshot{Name: name, Value: m.Value()})
+		case *Gauge:
+			s.Gauges = append(s.Gauges, GaugeSnapshot{Name: name, Value: m.Value()})
+		case *Histogram:
+			hs := HistogramSnapshot{Name: name, Count: m.Count(), Sum: m.Sum(), Buckets: []BucketSnapshot{}}
+			for i := range m.buckets {
+				if c := m.buckets[i].Load(); c > 0 {
+					hs.Buckets = append(hs.Buckets, BucketSnapshot{Exp: minExp + i, Count: c})
+				}
+			}
+			s.Histograms = append(s.Histograms, hs)
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as one line of deterministic JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Merge folds a snapshot into the registry: counter values add, gauge
+// values overwrite, histogram buckets/counts/sums add. Metrics missing
+// from the registry are created (with empty help; pre-register them to
+// attach help text). A sweep driver uses this to aggregate per-run
+// snapshots into the live registry behind its /metrics endpoint.
+func (r *Registry) Merge(s Snapshot) {
+	for _, c := range s.Counters {
+		r.NewCounter(c.Name, "").Add(c.Value)
+	}
+	for _, g := range s.Gauges {
+		r.NewGauge(g.Name, "").Set(g.Value)
+	}
+	for _, h := range s.Histograms {
+		dst := r.NewHistogram(h.Name, "")
+		for _, b := range h.Buckets {
+			dst.addBucket(b.Exp, b.Count)
+		}
+		dst.count.Add(h.Count)
+		dst.addSum(h.Sum)
+	}
+}
+
+// fmtFloat renders a float in Prometheus exposition form.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, plain samples for counters
+// and gauges, and cumulative le-labelled buckets plus _sum and _count
+// series for histograms.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	write := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	for _, name := range r.sortedNames() {
+		r.mu.Lock()
+		m := r.byName[name]
+		r.mu.Unlock()
+		var help, kind string
+		switch m := m.(type) {
+		case *Counter:
+			help, kind = m.help, "counter"
+		case *Gauge:
+			help, kind = m.help, "gauge"
+		case *Histogram:
+			help, kind = m.help, "histogram"
+		}
+		if help != "" {
+			if err := write("# HELP %s %s\n", name, help); err != nil {
+				return err
+			}
+		}
+		if err := write("# TYPE %s %s\n", name, kind); err != nil {
+			return err
+		}
+		switch m := m.(type) {
+		case *Counter:
+			if err := write("%s %d\n", name, m.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if err := write("%s %s\n", name, fmtFloat(m.Value())); err != nil {
+				return err
+			}
+		case *Histogram:
+			var cum uint64
+			for i := range m.buckets {
+				c := m.buckets[i].Load()
+				if c == 0 && minExp+i <= maxExp {
+					continue // keep the exposition compact; le="+Inf" always written below
+				}
+				if minExp+i > maxExp {
+					break
+				}
+				cum += c
+				if err := write("%s_bucket{le=%q} %d\n", name, fmtFloat(UpperBound(minExp+i)), cum); err != nil {
+					return err
+				}
+			}
+			cum += m.buckets[numBuckets-1].Load()
+			if err := write("%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+				return err
+			}
+			if err := write("%s_sum %s\n", name, fmtFloat(m.Sum())); err != nil {
+				return err
+			}
+			if err := write("%s_count %d\n", name, m.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+// Package metrics is the simulator's metrics subsystem: a registry of
+// counters, gauges, and log-bucketed histograms designed for the engines'
+// hot paths — recording is a handful of atomic operations and never
+// allocates — with two exposition formats on top: Prometheus text (for
+// scraping a live sweep) and a deterministic JSON snapshot (for the
+// byte-identical per-run records the experiment harness emits).
+//
+// The package is bound by the repository's determinism contract: it never
+// reads the wall clock or the global math/rand source, and every
+// exposition iterates metrics in sorted name order, so the same sequence
+// of observations produces the same bytes on every host. Wall-clock
+// concerns (scrape timing, run durations) live in the drivers.
+//
+// Metrics are registered once and updated concurrently: all values are
+// atomics, so one Registry may aggregate runs executing on many worker
+// goroutines while an HTTP handler exposes it.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: bucket with exponent e covers (2^(e-1), 2^e];
+// observations at or below 2^minExp collapse into the first bucket and
+// observations above 2^maxExp land in the overflow bucket (exponent
+// maxExp+1, exposed as le="+Inf"). The range covers sub-millisecond
+// simulated times (2^-12 ≈ 2.4e-4) through ~10^12 (message-bit totals of
+// any run this repo can complete).
+const (
+	minExp     = -12
+	maxExp     = 40
+	numBuckets = maxExp - minExp + 2 // one per exponent plus overflow
+)
+
+// bucketExp returns the bucket exponent for one observation.
+func bucketExp(v float64) int {
+	if math.IsNaN(v) || v > math.Ldexp(1, maxExp) {
+		return maxExp + 1
+	}
+	if v <= math.Ldexp(1, minExp) {
+		return minExp
+	}
+	f, e := math.Frexp(v) // v = f·2^e with f ∈ [0.5, 1)
+	if f == 0.5 {
+		e-- // exact powers of two belong to the bucket they bound
+	}
+	return e
+}
+
+// UpperBound returns the inclusive upper bound of the bucket with the
+// given exponent: 2^exp, or +Inf for the overflow bucket.
+func UpperBound(exp int) float64 {
+	if exp > maxExp {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, exp)
+}
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Name returns the metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a float64 metric that may go up and down.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by d (atomically, via CAS).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Name returns the metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram is a base-2 log-bucketed distribution: counts per power-of-two
+// bucket plus a running count and sum. Observing is two atomic adds and a
+// CAS loop for the sum; nothing allocates.
+type Histogram struct {
+	name, help string
+	buckets    [numBuckets]atomic.Uint64
+	count      atomic.Uint64
+	sumBits    atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.buckets[bucketExp(v)-minExp].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Name returns the metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// addBucket folds an external bucket count in (used by Registry.Merge).
+func (h *Histogram) addBucket(exp int, n uint64) {
+	if exp < minExp {
+		exp = minExp
+	}
+	if exp > maxExp+1 {
+		exp = maxExp + 1
+	}
+	h.buckets[exp-minExp].Add(n)
+}
+
+func (h *Histogram) addSum(v float64) {
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Registry holds a set of named metrics. Registration takes a lock;
+// recording on the returned metrics is lock-free. The zero Registry is not
+// usable — construct with NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]any
+	names  []string // registration order; expositions sort a copy
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]any)}
+}
+
+// validName enforces the Prometheus metric-name charset.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register interns a metric under name, returning the existing one when
+// the name is already taken by a metric of the same kind. A name collision
+// across kinds is a programming error and panics.
+func register[T any](r *Registry, name string, make func() *T) *T {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.byName[name]; ok {
+		m, ok := existing.(*T)
+		if !ok {
+			panic(fmt.Sprintf("metrics: %q already registered as %T", name, existing))
+		}
+		return m
+	}
+	m := make()
+	r.byName[name] = m
+	r.names = append(r.names, name)
+	return m
+}
+
+// NewCounter returns the counter registered under name, creating it with
+// the given help text on first use.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	return register(r, name, func() *Counter { return &Counter{name: name, help: help} })
+}
+
+// NewGauge returns the gauge registered under name, creating it with the
+// given help text on first use.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	return register(r, name, func() *Gauge { return &Gauge{name: name, help: help} })
+}
+
+// NewHistogram returns the histogram registered under name, creating it
+// with the given help text on first use.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	return register(r, name, func() *Histogram { return &Histogram{name: name, help: help} })
+}
+
+// sortedNames returns the registered names in sorted order; expositions
+// iterate this, never the map, so output order is deterministic.
+func (r *Registry) sortedNames() []string {
+	r.mu.Lock()
+	out := append([]string(nil), r.names...)
+	r.mu.Unlock()
+	slices.Sort(out)
+	return out
+}

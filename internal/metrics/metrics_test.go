@@ -1,0 +1,259 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestBucketExp: bucket boundaries — exponent e covers (2^(e-1), 2^e],
+// exact powers of two fall into the bucket they bound, and out-of-range
+// observations collapse into the first or overflow bucket.
+func TestBucketExp(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, minExp},
+		{-5, minExp},
+		{math.Ldexp(1, minExp), minExp},
+		{math.Ldexp(1, minExp) * 1.001, minExp + 1},
+		{0.75, 0},
+		{1, 0},
+		{1.0001, 1},
+		{1.5, 1},
+		{2, 1},
+		{2.0001, 2},
+		{1024, 10},
+		{math.Ldexp(1, maxExp), maxExp},
+		{math.Ldexp(1, maxExp) * 1.001, maxExp + 1},
+		{math.Inf(1), maxExp + 1},
+		{math.NaN(), maxExp + 1},
+	}
+	for _, c := range cases {
+		if got := bucketExp(c.v); got != c.want {
+			t.Errorf("bucketExp(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// The defining invariant, on a sweep of in-range values.
+	for _, v := range []float64{0.001, 0.3, 1, 3, 7.99, 8, 8.01, 1e6, 1e12} {
+		e := bucketExp(v)
+		if v > UpperBound(e) || (e > minExp && v <= UpperBound(e-1)) {
+			t.Errorf("bucketExp(%g) = %d: %g outside (%g, %g]", v, e, v, UpperBound(e-1), UpperBound(e))
+		}
+	}
+	if !math.IsInf(UpperBound(maxExp+1), 1) {
+		t.Error("UpperBound(overflow) should be +Inf")
+	}
+}
+
+// TestRegistryGetOrCreate: registering the same name and kind twice interns
+// to one metric; a kind collision or an invalid name panics.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("x_total", "first help")
+	b := r.NewCounter("x_total", "ignored on re-registration")
+	if a != b {
+		t.Error("re-registering the same counter should return the same metric")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Errorf("interned counter value = %d, want 1", b.Value())
+	}
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("kind collision", func() { r.NewGauge("x_total", "") })
+	mustPanic("empty name", func() { r.NewCounter("", "") })
+	mustPanic("leading digit", func() { r.NewCounter("1x", "") })
+	mustPanic("bad rune", func() { r.NewCounter("x-y", "") })
+}
+
+// TestSnapshotDeterministic: snapshots list metrics in sorted name order
+// regardless of registration order, so the JSON encoding is byte-identical
+// across registries holding the same data.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(order []string) *Registry {
+		r := NewRegistry()
+		for _, name := range order {
+			switch name {
+			case "c_one", "c_two":
+				r.NewCounter(name, "")
+			case "g_one":
+				r.NewGauge(name, "")
+			case "h_one":
+				r.NewHistogram(name, "")
+			}
+		}
+		r.NewCounter("c_one", "").Add(3)
+		r.NewCounter("c_two", "").Add(7)
+		r.NewGauge("g_one", "").Set(0.25)
+		h := r.NewHistogram("h_one", "")
+		h.Observe(1.5)
+		h.Observe(100)
+		return r
+	}
+	var bufA, bufB strings.Builder
+	if err := build([]string{"h_one", "c_two", "g_one", "c_one"}).Snapshot().WriteJSON(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := build([]string{"c_one", "c_two", "g_one", "h_one"}).Snapshot().WriteJSON(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if bufA.String() != bufB.String() {
+		t.Errorf("snapshot JSON depends on registration order:\n%s%s", bufA.String(), bufB.String())
+	}
+	if !strings.HasSuffix(bufA.String(), "\n") || strings.Count(bufA.String(), "\n") != 1 {
+		t.Errorf("WriteJSON should emit exactly one line, got %q", bufA.String())
+	}
+	want := `{"counters":[{"name":"c_one","value":3},{"name":"c_two","value":7}],` +
+		`"gauges":[{"name":"g_one","value":0.25}],` +
+		`"histograms":[{"name":"h_one","count":2,"sum":101.5,"buckets":[{"exp":1,"count":1},{"exp":7,"count":1}]}]}` + "\n"
+	if bufA.String() != want {
+		t.Errorf("snapshot JSON:\n got %s want %s", bufA.String(), want)
+	}
+}
+
+// TestHistogramQuantile: linear interpolation inside the target bucket,
+// with the edge cases pinned — empty histogram, q=0, q=1, overflow bucket.
+func TestHistogramQuantile(t *testing.T) {
+	if !math.IsNaN((HistogramSnapshot{}).Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+
+	r := NewRegistry()
+	h := r.NewHistogram("h", "")
+	for i := 0; i < 4; i++ {
+		h.Observe(3) // bucket exponent 2: (2, 4]
+	}
+	hs := r.Snapshot().Histograms[0]
+	if got := hs.Quantile(0); got != 2 {
+		t.Errorf("q=0 → %g, want lower bound 2", got)
+	}
+	if got := hs.Quantile(0.5); got != 3 {
+		t.Errorf("q=0.5 → %g, want midpoint 3", got)
+	}
+	if got := hs.Quantile(1); got != 4 {
+		t.Errorf("q=1 → %g, want upper bound 4", got)
+	}
+
+	h.Observe(math.Ldexp(1, maxExp) * 4) // overflow bucket
+	hs = r.Snapshot().Histograms[0]
+	if got := hs.Quantile(1); got != math.Ldexp(1, maxExp) {
+		t.Errorf("overflow-bucket quantile = %g, want lower bound 2^maxExp", got)
+	}
+}
+
+// TestMerge: merging snapshots adds counters and histogram contents, sets
+// gauges, and creates missing metrics.
+func TestMerge(t *testing.T) {
+	runRegistry := func(counter uint64, gauge float64, obs []float64) Snapshot {
+		r := NewRegistry()
+		r.NewCounter("runs_total", "").Add(counter)
+		r.NewGauge("frac", "").Set(gauge)
+		h := r.NewHistogram("cost", "")
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	live := NewRegistry()
+	live.Merge(runRegistry(2, 0.5, []float64{1, 3}))
+	live.Merge(runRegistry(3, 0.75, []float64{3, 100}))
+
+	if got := live.NewCounter("runs_total", "").Value(); got != 5 {
+		t.Errorf("merged counter = %d, want 5", got)
+	}
+	if got := live.NewGauge("frac", "").Value(); got != 0.75 {
+		t.Errorf("merged gauge = %g, want last-set 0.75", got)
+	}
+	h := live.NewHistogram("cost", "")
+	if h.Count() != 4 || h.Sum() != 107 {
+		t.Errorf("merged histogram count=%d sum=%g, want 4 and 107", h.Count(), h.Sum())
+	}
+	hs := live.Snapshot().Histograms[0]
+	var buckets uint64
+	for _, b := range hs.Buckets {
+		buckets += b.Count
+	}
+	if buckets != 4 {
+		t.Errorf("merged bucket counts sum to %d, want 4", buckets)
+	}
+}
+
+// TestWritePrometheus: the text exposition follows format 0.0.4 —
+// HELP/TYPE headers, cumulative le-labelled buckets, +Inf bucket, _sum and
+// _count series.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("sends_total", "messages sent").Add(9)
+	r.NewGauge("awake_frac", "").Set(0.5)
+	h := r.NewHistogram("cost_bits", "per-message bits")
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(3)
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE awake_frac gauge`,
+		`awake_frac 0.5`,
+		`# HELP cost_bits per-message bits`,
+		`# TYPE cost_bits histogram`,
+		`cost_bits_bucket{le="1"} 1`,
+		`cost_bits_bucket{le="4"} 3`,
+		`cost_bits_bucket{le="+Inf"} 3`,
+		`cost_bits_sum 7`,
+		`cost_bits_count 3`,
+		`# HELP sends_total messages sent`,
+		`# TYPE sends_total counter`,
+		`sends_total 9`,
+	}, "\n") + "\n"
+	if buf.String() != want {
+		t.Errorf("Prometheus exposition:\n got:\n%s want:\n%s", buf.String(), want)
+	}
+}
+
+// TestConcurrentRecording: metrics are safe to record from many goroutines
+// (the sweep harness shares one live registry across workers). Run under
+// -race in CI.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.NewCounter("ops_total", "")
+			h := r.NewHistogram("vals", "")
+			g := r.NewGauge("level", "")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(i%7) + 0.5)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.NewCounter("ops_total", "").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	h := r.NewHistogram("vals", "")
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if got := r.NewGauge("level", "").Value(); got != workers*per {
+		t.Errorf("gauge = %g, want %d", got, workers*per)
+	}
+}

@@ -1,0 +1,76 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"riseandshine/internal/core"
+	"riseandshine/internal/graph"
+	"riseandshine/internal/sim"
+)
+
+// TestCrossEngineDFSRankCriticalPath: with a single wake-up source the
+// Theorem 3 DFS traversal is scheduler-independent, so the causal DAG the
+// tracer reconstructs must be the same under the deterministic
+// discrete-event engine (adversarial random delays) and under the
+// goroutine runtime (real Go scheduler interleavings): every node wakes at
+// the same causal depth, the critical path ends at the same node with the
+// same length, and the path visits the same node sequence. Engine clocks
+// never agree, so the At fields are out of scope.
+func TestCrossEngineDFSRankCriticalPath(t *testing.T) {
+	g := graph.RandomConnected(70, 0.07, rand.New(rand.NewSource(17)))
+	const seed = int64(99)
+	model := sim.Model{Knowledge: sim.KT1, Bandwidth: sim.Local}
+
+	asyncObs := sim.NewCausalObserver(g, nil)
+	if _, err := sim.RunAsync(sim.Config{
+		Graph: g,
+		Model: model,
+		Adversary: sim.Adversary{
+			Schedule: sim.WakeSingle(0),
+			Delays:   sim.RandomDelay{Seed: 18},
+		},
+		Seed:     seed,
+		Observer: asyncObs,
+	}, core.DFSRank{}); err != nil {
+		t.Fatal(err)
+	}
+	asyncRep := asyncObs.Report()
+
+	rtObs := sim.NewCausalObserver(g, nil)
+	if _, err := Run(Config{
+		Graph:    g,
+		Model:    model,
+		Schedule: sim.WakeSingle(0),
+		Seed:     seed,
+		Observer: rtObs,
+	}, core.DFSRank{}); err != nil {
+		t.Fatal(err)
+	}
+	rtRep := rtObs.Report()
+
+	for v := range asyncRep.WakeDepth {
+		if asyncRep.WakeDepth[v] != rtRep.WakeDepth[v] {
+			t.Fatalf("node %d wakes at causal depth %d under sim, %d under runtime",
+				v, asyncRep.WakeDepth[v], rtRep.WakeDepth[v])
+		}
+	}
+	if asyncRep.LastWakeNode != rtRep.LastWakeNode {
+		t.Errorf("last wake node differs: sim %d vs runtime %d", asyncRep.LastWakeNode, rtRep.LastWakeNode)
+	}
+	if asyncRep.CriticalPathLength != rtRep.CriticalPathLength {
+		t.Errorf("critical path length differs: sim %d vs runtime %d",
+			asyncRep.CriticalPathLength, rtRep.CriticalPathLength)
+	}
+	if asyncRep.MaxDepth != rtRep.MaxDepth {
+		t.Errorf("max causal depth differs: sim %d vs runtime %d", asyncRep.MaxDepth, rtRep.MaxDepth)
+	}
+	if len(asyncRep.Path) != len(rtRep.Path) {
+		t.Fatalf("path lengths differ: sim %d vs runtime %d", len(asyncRep.Path), len(rtRep.Path))
+	}
+	for i := range asyncRep.Path {
+		if asyncRep.Path[i].Node != rtRep.Path[i].Node || asyncRep.Path[i].Depth != rtRep.Path[i].Depth {
+			t.Fatalf("path step %d differs: sim %+v vs runtime %+v", i, asyncRep.Path[i], rtRep.Path[i])
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"fmt"
+
+	"riseandshine/internal/graph"
+)
+
+// CausalObserver reconstructs the causal DAG of a wake-up execution from
+// the engine's event stream. Every send is attributed to the delivery the
+// sender had most recently processed (or, for the burst an algorithm emits
+// while waking, to the delivery that woke the sender), and sends are
+// matched to their deliveries through the per-directed-edge FIFO order all
+// three executors guarantee. The depth of a delivery is then the length of
+// the causal chain of messages behind it, and the critical path — the
+// longest chain ending at the last wake-up — is the empirical counterpart
+// of the causal-chain arguments behind the paper's O(ρ_awk + log n) bound:
+// on flooding with unit delays it equals the wake source's eccentricity
+// exactly, and the gap between a run's wake span and its critical-path
+// length is the algorithm's scheduling overhead.
+//
+// All three engines invoke the waking machine's handler (whose sends the
+// observer must attribute to the wake-causing delivery) before that
+// delivery itself is observed, and under the goroutine runtime a
+// neighbor may even observe the resulting delivery first. The observer
+// therefore records causal parents symbolically — "the delivery that woke
+// node u" — and resolves depths after the run, in Report. Under the
+// synchronous engine all of a node's same-round arrivals share the round
+// frontier: wake-burst sends attribute to the node's first arrival of the
+// round and computing-step sends to its last, both with the same depth
+// semantics.
+//
+// Memory: one record per delivery plus one pending-send slot per in-flight
+// message, so tracing a run costs O(messages) space.
+type CausalObserver struct {
+	g  *graph.Graph
+	pm *graph.PortMap
+
+	// Directed-edge index, CSR-style as in the async engine: the out-edge
+	// of node v addressed by port p is edgeStart[v]+p-1.
+	edgeStart []int32
+	// queues[e] / qhead[e] is the FIFO of sends in flight on directed edge
+	// e, each entry a parent code (see parentCode).
+	queues [][]int32
+	qhead  []int32
+
+	lastDeliv []int32 // last delivery index processed at node v; -1 = none yet
+	deliv     []causalDelivery
+
+	woken       []bool
+	pendingWake []bool // woken by a message whose delivery has not been observed yet
+	wakeAt      []Time
+	wakeAdv     []bool
+	wakeCause   []int32 // delivery that woke v; -1 for adversarial wakes
+
+	err error
+}
+
+// causalDelivery is one delivery event in the DAG. parent is a parent
+// code: a delivery index (≥ 0), parentRoot for a send attributed to an
+// adversarial wake, or parentOfWake(u) for a send emitted while node u was
+// waking — resolved to u's wake-causing delivery in Report, because that
+// delivery may not have been observed yet when the send happens.
+type causalDelivery struct {
+	node, from int32
+	parent     int32
+	at         Time
+}
+
+const parentRoot = int32(-1)
+
+func parentOfWake(u int32) int32 { return -u - 2 }
+
+// CausalStep is one event on the critical path: the origin wake-up (depth
+// 0) or a delivery at Node that extended the chain to Depth.
+type CausalStep struct {
+	Node  int  `json:"node"`
+	At    Time `json:"at"`
+	Depth int  `json:"depth"`
+}
+
+// CausalReport is the reconstructed critical path and the causal-depth
+// decomposition of one execution.
+type CausalReport struct {
+	// LastWakeNode and LastWakeAt identify the final wake-up event (ties
+	// on time resolve to the deepest causal chain, then the smallest
+	// node index, so the report is deterministic).
+	LastWakeNode int  `json:"last_wake_node"`
+	LastWakeAt   Time `json:"last_wake_at"`
+	// CriticalPathLength is the number of deliveries on the causal chain
+	// ending at the last wake-up; zero when the last-woken node was woken
+	// by the adversary.
+	CriticalPathLength int `json:"critical_path_len"`
+	// MaxDepth is the longest causal chain over all deliveries (it may
+	// exceed CriticalPathLength: echoes after the last wake deepen the
+	// DAG without waking anyone).
+	MaxDepth int `json:"max_depth"`
+	// Path is the critical path itself, from the origin wake-up (depth 0)
+	// to the delivery that caused the last wake.
+	Path []CausalStep `json:"path"`
+	// WakeDepth[v] is the causal depth at which node v woke: 0 for
+	// adversarial wakes, the triggering delivery's depth otherwise, and
+	// -1 for nodes that never woke. Not serialized — it is O(n) per run.
+	WakeDepth []int `json:"-"`
+}
+
+// NewCausalObserver returns a causal tracer for one run on g under the
+// given port mapping (nil selects identity ports, matching the engines'
+// default). The observer must see every event of exactly one execution.
+func NewCausalObserver(g *graph.Graph, pm *graph.PortMap) *CausalObserver {
+	if pm == nil {
+		pm = graph.IdentityPorts(g)
+	}
+	n := g.N()
+	o := &CausalObserver{
+		g:           g,
+		pm:          pm,
+		edgeStart:   make([]int32, n+1),
+		lastDeliv:   make([]int32, n),
+		woken:       make([]bool, n),
+		pendingWake: make([]bool, n),
+		wakeAt:      make([]Time, n),
+		wakeAdv:     make([]bool, n),
+		wakeCause:   make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		o.edgeStart[v+1] = o.edgeStart[v] + int32(g.Degree(v))
+		o.lastDeliv[v] = -1
+		o.wakeCause[v] = -1
+	}
+	dir := o.edgeStart[n]
+	o.queues = make([][]int32, dir)
+	o.qhead = make([]int32, dir)
+	return o
+}
+
+// OnWake implements Observer.
+func (o *CausalObserver) OnWake(at Time, node int, adversarial bool) {
+	if node < 0 || node >= len(o.woken) {
+		o.fail(fmt.Errorf("causal: wake of unknown node %d", node))
+		return
+	}
+	o.woken[node] = true
+	o.wakeAt[node] = at
+	o.wakeAdv[node] = adversarial
+	if !adversarial {
+		// The triggering delivery is observed after the waking handler
+		// returns; link it up in OnDeliver.
+		o.pendingWake[node] = true
+	}
+}
+
+// OnSend implements Observer: the send joins the edge's FIFO carrying the
+// sender's current causal frontier.
+func (o *CausalObserver) OnSend(at Time, from, port int, m Message) {
+	if from < 0 || from >= len(o.lastDeliv) || port < 1 || o.edgeStart[from]+int32(port)-1 > o.edgeStart[from+1]-1 {
+		o.fail(fmt.Errorf("causal: send from node %d on invalid port %d", from, port))
+		return
+	}
+	parent := o.lastDeliv[from]
+	if o.pendingWake[from] {
+		// Sent while waking: the parent is the (not yet observed) delivery
+		// that woke the sender.
+		parent = parentOfWake(int32(from))
+	}
+	ei := o.edgeStart[from] + int32(port) - 1
+	o.queues[ei] = append(o.queues[ei], parent)
+}
+
+// OnDeliver implements Observer: the delivery is matched to the oldest
+// in-flight send on its directed edge.
+func (o *CausalObserver) OnDeliver(at Time, node int, d Delivery) {
+	if node < 0 || node >= len(o.lastDeliv) || d.Port < 1 || d.Port > o.g.Degree(node) {
+		o.fail(fmt.Errorf("causal: delivery to node %d on invalid port %d", node, d.Port))
+		return
+	}
+	from := o.pm.Neighbor(node, d.Port)
+	if d.SenderPort < 1 || o.edgeStart[from]+int32(d.SenderPort)-1 > o.edgeStart[from+1]-1 {
+		o.fail(fmt.Errorf("causal: delivery to node %d reports invalid sender port %d", node, d.SenderPort))
+		return
+	}
+	ei := o.edgeStart[from] + int32(d.SenderPort) - 1
+	if o.qhead[ei] >= int32(len(o.queues[ei])) {
+		o.fail(fmt.Errorf("causal: delivery on edge %d→%d without a matching send (observer saw a partial event stream?)", from, node))
+		return
+	}
+	parent := o.queues[ei][o.qhead[ei]]
+	o.qhead[ei]++
+	idx := int32(len(o.deliv))
+	o.deliv = append(o.deliv, causalDelivery{
+		node:   int32(node),
+		from:   int32(from),
+		parent: parent,
+		at:     at,
+	})
+	o.lastDeliv[node] = idx
+	if o.pendingWake[node] {
+		o.pendingWake[node] = false
+		o.wakeCause[node] = idx
+	}
+}
+
+// OnFinish implements Observer: it surfaces any event-stream inconsistency
+// the tracer detected, failing the run instead of reporting a bogus path.
+func (o *CausalObserver) OnFinish(*Result) error { return o.err }
+
+func (o *CausalObserver) fail(err error) {
+	if o.err == nil {
+		o.err = err
+	}
+}
+
+// resolveParent maps a parent code to a delivery index, or -1 for a chain
+// root (an adversarial wake, or a wake whose cause was never observed).
+func (o *CausalObserver) resolveParent(code int32) int32 {
+	if code >= parentRoot {
+		return code
+	}
+	return o.wakeCause[-code-2]
+}
+
+// Report reconstructs the critical path. Call it after the run finished;
+// the report is deterministic for deterministic engines.
+func (o *CausalObserver) Report() CausalReport {
+	// Depth of each delivery, memoized over the parent DAG. Parents are
+	// not index-ordered (under the goroutine runtime a neighbor can
+	// observe a wake-burst send before the wake's own cause), so chains
+	// are walked explicitly instead of filled in one forward pass.
+	depth := make([]int32, len(o.deliv))
+	for i := range depth {
+		depth[i] = -1
+	}
+	var chain []int32
+	depthOf := func(i int32) int32 {
+		chain = chain[:0]
+		for i >= 0 && depth[i] < 0 {
+			chain = append(chain, i)
+			i = o.resolveParent(o.deliv[i].parent)
+		}
+		d := int32(0)
+		if i >= 0 {
+			d = depth[i]
+		}
+		for k := len(chain) - 1; k >= 0; k-- {
+			d++
+			depth[chain[k]] = d
+		}
+		return d
+	}
+
+	rep := CausalReport{LastWakeNode: -1, WakeDepth: make([]int, len(o.woken))}
+	wakeDepth := make([]int32, len(o.woken))
+	for v := range o.woken {
+		switch {
+		case !o.woken[v]:
+			wakeDepth[v] = -1
+		case o.wakeAdv[v] || o.wakeCause[v] < 0:
+			wakeDepth[v] = 0
+		default:
+			wakeDepth[v] = depthOf(o.wakeCause[v])
+		}
+		rep.WakeDepth[v] = int(wakeDepth[v])
+		if !o.woken[v] {
+			continue
+		}
+		last := rep.LastWakeNode
+		if last == -1 || o.wakeAt[v] > o.wakeAt[last] ||
+			(o.wakeAt[v] == o.wakeAt[last] && wakeDepth[v] > wakeDepth[last]) {
+			rep.LastWakeNode = v
+		}
+	}
+	for i := range o.deliv {
+		if d := int(depthOf(int32(i))); d > rep.MaxDepth {
+			rep.MaxDepth = d
+		}
+	}
+	if rep.LastWakeNode == -1 {
+		return rep
+	}
+	last := rep.LastWakeNode
+	rep.LastWakeAt = o.wakeAt[last]
+	rep.CriticalPathLength = int(wakeDepth[last])
+
+	// Walk the chain backwards from the delivery that caused the last
+	// wake, then reverse; the origin is the adversarial wake of the first
+	// sender on the chain (or of the last-woken node itself).
+	origin := last
+	var rev []CausalStep
+	for cur := o.wakeCause[last]; cur >= 0; {
+		d := o.deliv[cur]
+		rev = append(rev, CausalStep{Node: int(d.node), At: d.at, Depth: int(depth[cur])})
+		origin = int(d.from)
+		cur = o.resolveParent(d.parent)
+	}
+	rep.Path = make([]CausalStep, 0, len(rev)+1)
+	rep.Path = append(rep.Path, CausalStep{Node: origin, At: o.wakeAt[origin], Depth: 0})
+	for i := len(rev) - 1; i >= 0; i-- {
+		rep.Path = append(rep.Path, rev[i])
+	}
+	return rep
+}
+
+var _ Observer = (*CausalObserver)(nil)

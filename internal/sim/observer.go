@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 )
 
 // Observer receives the engine's event stream. All three executors thread
@@ -145,15 +145,18 @@ func NewDigestObserver(perDelivery bool) *DigestObserver {
 	return &DigestObserver{perDelivery: perDelivery}
 }
 
-// ensure grows the per-node state to cover node v.
+// ensure grows the per-node state to cover node v, in one step — growing
+// element-by-element re-checks capacity per append and turns a large first
+// event index into quadratic copying.
 func (o *DigestObserver) ensure(v int) {
-	for len(o.transcripts) <= v {
-		o.transcripts = append(o.transcripts, fnvOffset)
-	}
-	if o.perDelivery {
-		for len(o.deliveries) <= v {
-			o.deliveries = append(o.deliveries, nil)
+	if old := len(o.transcripts); v >= old {
+		o.transcripts = append(o.transcripts, make([]uint64, v+1-old)...)
+		for i := old; i <= v; i++ {
+			o.transcripts[i] = fnvOffset
 		}
+	}
+	if o.perDelivery && v >= len(o.deliveries) {
+		o.deliveries = append(o.deliveries, make([][]uint64, v+1-len(o.deliveries))...)
 	}
 }
 
@@ -203,7 +206,7 @@ func (o *DigestObserver) DeliveryDigests(v int) []uint64 {
 		return nil
 	}
 	out := append([]uint64(nil), o.deliveries[v]...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -228,10 +231,10 @@ func NewCountObserver(n int) *CountObserver {
 }
 
 func growCounts(s []int, v int) []int {
-	for len(s) <= v {
-		s = append(s, 0)
+	if v < len(s) {
+		return s
 	}
-	return s
+	return append(s, make([]int, v+1-len(s))...)
 }
 
 // OnWake implements Observer.

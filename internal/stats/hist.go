@@ -1,0 +1,47 @@
+package stats
+
+import "math"
+
+// BucketQuantile estimates the q-quantile (0 ≤ q ≤ 1) of a bucketed
+// distribution: bounds[i] is the inclusive upper bound of bucket i (the
+// last bound may be +Inf) and counts[i] its non-cumulative count. The
+// estimate interpolates linearly inside the bucket containing the
+// quantile rank — the same estimator Prometheus's histogram_quantile
+// applies to exposition buckets. The lower bound of bucket 0 is taken as
+// 0 (costs in this repo — times, message counts, bits — are
+// non-negative); ranks falling in a +Inf bucket report that bucket's
+// lower bound. An empty distribution yields NaN.
+func BucketQuantile(q float64, bounds []float64, counts []uint64) float64 {
+	if len(bounds) != len(counts) {
+		return math.NaN()
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		lb := 0.0
+		if i > 0 {
+			lb = bounds[i-1]
+		}
+		ub := bounds[i]
+		if math.IsInf(ub, 1) {
+			return lb
+		}
+		if c == 0 {
+			return ub
+		}
+		return lb + (ub-lb)*(rank-prev)/float64(c)
+	}
+	return bounds[len(bounds)-1]
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketQuantileEmpty(t *testing.T) {
+	if v := BucketQuantile(0.5, nil, nil); !math.IsNaN(v) {
+		t.Errorf("empty distribution: got %v, want NaN", v)
+	}
+	if v := BucketQuantile(0.5, []float64{1, 2}, []uint64{0, 0}); !math.IsNaN(v) {
+		t.Errorf("all-zero counts: got %v, want NaN", v)
+	}
+	if v := BucketQuantile(0.5, []float64{1, 2}, []uint64{3}); !math.IsNaN(v) {
+		t.Errorf("mismatched lengths: got %v, want NaN", v)
+	}
+}
+
+func TestBucketQuantileSingleBucket(t *testing.T) {
+	// Four observations in (2, 4]: rank interpolates linearly from the
+	// bucket's lower bound.
+	bounds := []float64{2, 4}
+	counts := []uint64{0, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 2},
+		{0.25, 2.5},
+		{0.5, 3},
+		{1, 4},
+	}
+	for _, c := range cases {
+		if got := BucketQuantile(c.q, bounds, counts); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("q=%g: got %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestBucketQuantileMultiBucket(t *testing.T) {
+	// 10 observations: 2 in (0,1], 3 in (1,2], 5 in (2,4].
+	bounds := []float64{1, 2, 4}
+	counts := []uint64{2, 3, 5}
+	cases := []struct{ q, want float64 }{
+		{0.2, 1},          // rank 2 lands exactly on bucket 0's upper bound
+		{0.5, 2},          // rank 5 exhausts bucket 1
+		{0.3, 1 + 1.0/3},   // rank 3 is 1/3 into bucket 1
+		{0.9, 2 + 2*4.0/5}, // rank 9 is 4/5 into bucket 2
+	}
+	for _, c := range cases {
+		if got := BucketQuantile(c.q, bounds, counts); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("q=%g: got %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestBucketQuantileBucketZeroLowerBound(t *testing.T) {
+	// The first bucket's lower bound is 0, so a rank inside it
+	// interpolates from 0, not from -Inf.
+	bounds := []float64{8}
+	counts := []uint64{2}
+	if got := BucketQuantile(0.5, bounds, counts); math.Abs(got-4) > 1e-12 {
+		t.Errorf("q=0.5 in bucket 0: got %g, want 4", got)
+	}
+}
+
+func TestBucketQuantileInfBucket(t *testing.T) {
+	// Ranks falling in a +Inf bucket report its lower bound rather than
+	// interpolating toward infinity.
+	bounds := []float64{4, math.Inf(1)}
+	counts := []uint64{1, 3}
+	if got := BucketQuantile(0.9, bounds, counts); got != 4 {
+		t.Errorf("q=0.9 in +Inf bucket: got %g, want 4", got)
+	}
+	// But a rank inside the finite bucket still interpolates.
+	if got := BucketQuantile(0.25, bounds, counts); math.Abs(got-4) > 1e-12 {
+		t.Errorf("q=0.25: got %g, want 4", got)
+	}
+}
+
+func TestBucketQuantileEmptyGapBucket(t *testing.T) {
+	// A rank landing exactly on a cumulative boundary resolves inside the
+	// earlier bucket: with an empty middle bucket, the median of
+	// {2 low, 2 high} is the low bucket's upper bound.
+	bounds := []float64{1, 2, 4}
+	counts := []uint64{2, 0, 2}
+	if got := BucketQuantile(0.5, bounds, counts); got != 1 {
+		t.Errorf("q=0.5 with empty middle bucket: got %g, want 1", got)
+	}
+	// A zero-total rank selecting an empty leading bucket reports that
+	// bucket's upper bound instead of dividing by its zero count.
+	if got := BucketQuantile(0, []float64{1, 2}, []uint64{0, 2}); got != 1 {
+		t.Errorf("q=0 on empty leading bucket: got %g, want 1", got)
+	}
+}

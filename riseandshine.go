@@ -36,6 +36,7 @@ import (
 	"math/rand"
 
 	"riseandshine/internal/graph"
+	"riseandshine/internal/metrics"
 	"riseandshine/internal/sim"
 )
 
@@ -70,6 +71,25 @@ type (
 	DigestObserver = sim.DigestObserver
 	// CountObserver tallies per-node wake/delivery/send histograms.
 	CountObserver = sim.CountObserver
+	// CausalObserver reconstructs the causal DAG of an execution and its
+	// critical path (the longest causal chain ending at the last wake).
+	CausalObserver = sim.CausalObserver
+	// CausalReport is the critical path and causal-depth decomposition of
+	// one execution.
+	CausalReport = sim.CausalReport
+	// CausalStep is one event on a reported critical path.
+	CausalStep = sim.CausalStep
+	// MetricsRegistry holds named counters, gauges, and histograms with
+	// Prometheus text and deterministic JSON expositions.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsObserver records an engine's event stream into a registry,
+	// including a frontier time series; install via RunConfig.Metrics (or
+	// stack it explicitly via RunConfig.Observer).
+	MetricsObserver = metrics.Observer
+	// FrontierPoint is one sample of the wake-up frontier.
+	FrontierPoint = metrics.FrontierPoint
 )
 
 // Observer constructors and composition (see internal/sim for semantics).
@@ -77,9 +97,15 @@ var (
 	NewTraceObserver  = sim.NewTraceObserver
 	NewDigestObserver = sim.NewDigestObserver
 	NewCountObserver  = sim.NewCountObserver
+	NewCausalObserver = sim.NewCausalObserver
 	StackObservers    = sim.StackObservers
 	// CombineDigests folds per-node transcript digests into one value.
 	CombineDigests = sim.CombineDigests
+	// NewMetricsRegistry returns an empty metrics registry.
+	NewMetricsRegistry = metrics.NewRegistry
+	// NewMetricsObserver registers the sim_* metrics on a registry and
+	// returns an observer for one run.
+	NewMetricsObserver = metrics.NewObserver
 )
 
 // NewGraphBuilder returns a builder for a custom graph on n nodes.

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"riseandshine/internal/graph"
+	"riseandshine/internal/metrics"
 	"riseandshine/internal/sim"
 )
 
@@ -43,6 +44,10 @@ type RunConfig struct {
 	// Result.TranscriptDigests. Shorthand for stacking NewDigestObserver
 	// onto Observer.
 	RecordDigests bool
+	// Metrics, when non-nil, records the run into the registry. Shorthand
+	// for stacking NewMetricsObserver(Metrics, n) onto Observer; use the
+	// observer directly when the frontier time series is needed.
+	Metrics *MetricsRegistry
 	// Observer, when non-nil, receives the engine's event stream; stack
 	// several with StackObservers. Runs without any observer keep the
 	// engines' allocation-free hot path.
@@ -87,6 +92,11 @@ func Run(cfg RunConfig) (*Result, error) {
 		}
 	}
 
+	observer := cfg.Observer
+	if cfg.Metrics != nil {
+		observer = sim.StackObservers(metrics.NewObserver(cfg.Metrics, cfg.Graph.N()), observer)
+	}
+
 	if info.Synchronous {
 		// The synchronous engine takes only the explicit observer slot, so
 		// the façade desugars Trace/RecordDigests into the stack here.
@@ -106,7 +116,7 @@ func Run(cfg RunConfig) (*Result, error) {
 			Advice:        adviceBytes,
 			AdviceBits:    adviceBits,
 			StrictCongest: cfg.StrictCongest,
-			Observer:      sim.StackObservers(trace, digests, cfg.Observer),
+			Observer:      sim.StackObservers(trace, digests, observer),
 		}, info.newSync(cfg.Options))
 	}
 	return sim.RunAsync(sim.Config{
@@ -123,6 +133,6 @@ func Run(cfg RunConfig) (*Result, error) {
 		StrictCongest: cfg.StrictCongest,
 		Trace:         cfg.Trace,
 		RecordDigests: cfg.RecordDigests,
-		Observer:      cfg.Observer,
+		Observer:      observer,
 	}, info.newAsync(cfg.Options))
 }
