@@ -35,6 +35,7 @@ import (
 // identical no matter how many workers execute the matrix.
 func benchRun(b *testing.B, spec experiment.RunSpec) {
 	b.Helper()
+	b.ReportAllocs()
 	runner := experiment.Runner{MasterSeed: 1}
 	specs := make([]experiment.RunSpec, b.N)
 	for i := range specs {
@@ -195,6 +196,7 @@ func BenchmarkLowerBound(b *testing.B) {
 		}
 		for beta := 0; beta <= 8; beta += 4 {
 			b.Run(fmt.Sprintf("beta=%d", beta), func(b *testing.B) {
+				b.ReportAllocs()
 				var msgs float64
 				for i := 0; i < b.N; i++ {
 					rep, err := lowerbound.Run(in,
@@ -232,6 +234,7 @@ func BenchmarkLowerBound(b *testing.B) {
 				{"dfs-rank", core.DFSRank{}},
 			} {
 				b.Run(fmt.Sprintf("q=%d/%s", q, entry.name), func(b *testing.B) {
+					b.ReportAllocs()
 					var msgs, span float64
 					for i := 0; i < b.N; i++ {
 						rep, err := lowerbound.Run(in,
@@ -267,6 +270,7 @@ func BenchmarkAblation(b *testing.B) {
 				name = "unranked"
 			}
 			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
 				var msgs float64
 				for i := 0; i < b.N; i++ {
 					res, err := sim.RunAsync(sim.Config{
@@ -302,6 +306,7 @@ func BenchmarkAblation(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
 				var span float64
 				for i := 0; i < b.N; i++ {
 					res, err := sim.RunAsync(sim.Config{
@@ -334,6 +339,7 @@ func BenchmarkAblation(b *testing.B) {
 			{"all-roots", 1},
 		} {
 			b.Run(tc.name, func(b *testing.B) {
+				b.ReportAllocs()
 				var msgs float64
 				for i := 0; i < b.N; i++ {
 					res, err := sim.RunSync(sim.SyncConfig{
@@ -360,6 +366,7 @@ func BenchmarkSubstrate(b *testing.B) {
 		for _, k := range []int{2, 3} {
 			g := riseandshine.RandomConnected(512, 0.1, 1)
 			b.Run(fmt.Sprintf("k=%d/n=512", k), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := graph.GreedySpanner(g, k); err != nil {
 						b.Fatal(err)
@@ -371,6 +378,7 @@ func BenchmarkSubstrate(b *testing.B) {
 	b.Run("Girth", func(b *testing.B) {
 		g := graph.ProjectivePlaneIncidence(13)
 		b.Run("pg13", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if g.Girth() != 6 {
 					b.Fatal("wrong girth")
@@ -380,6 +388,7 @@ func BenchmarkSubstrate(b *testing.B) {
 	})
 	b.Run("BuildGk", func(b *testing.B) {
 		b.Run("projective-q23", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := lowerbound.BuildGkProjective(23, int64(i)); err != nil {
 					b.Fatal(err)
@@ -387,6 +396,7 @@ func BenchmarkSubstrate(b *testing.B) {
 			}
 		})
 		b.Run("gq-q5", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := lowerbound.BuildGkGQ(5, int64(i)); err != nil {
 					b.Fatal(err)
@@ -395,12 +405,14 @@ func BenchmarkSubstrate(b *testing.B) {
 		})
 	})
 	b.Run("DegeneracyOrder", func(b *testing.B) {
+		b.ReportAllocs()
 		g := riseandshine.RandomConnected(2048, 0.01, 2)
 		for i := 0; i < b.N; i++ {
 			graph.DegeneracyOrder(g)
 		}
 	})
 	b.Run("CENOracle", func(b *testing.B) {
+		b.ReportAllocs()
 		g := riseandshine.RandomConnected(2048, 0.01, 3)
 		ports := riseandshine.RandomPorts(g, 4)
 		oracle := core.CENOracle{}
@@ -413,18 +425,20 @@ func BenchmarkSubstrate(b *testing.B) {
 }
 
 // BenchmarkRunAsync measures raw asynchronous-engine throughput on the
-// three workloads used to validate the flat-array hot path: a dense
-// complete graph, a sparse random graph, and a regular torus. Every node
+// workloads used to validate the allocation-free hot path: a dense
+// complete graph, a sparse random graph, a regular torus, and the
+// diameter-dominated sparse extremes (path, complete binary tree). Every node
 // is woken at time zero and floods, so the event count is fixed per
 // topology and the benchmark isolates engine overhead (event heap,
 // per-edge FIFO bookkeeping, delay derivation).
 func BenchmarkRunAsync(b *testing.B) {
-	for _, spec := range []string{"complete:2000", "gnp:5000:0.01", "torus:64x64"} {
+	for _, spec := range []string{"complete:2000", "gnp:5000:0.01", "torus:64x64", "path:20000", "binary:16383"} {
 		g, err := experiment.ParseGraph(spec, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.Run(spec, func(b *testing.B) {
+			b.ReportAllocs()
 			events := 0
 			for i := 0; i < b.N; i++ {
 				res, err := sim.RunAsync(sim.Config{
@@ -446,6 +460,45 @@ func BenchmarkRunAsync(b *testing.B) {
 	}
 }
 
+// BenchmarkRunAsyncReuse repeats the dense BenchmarkRunAsync workload with
+// every reuse lever engaged — a prebuilt Setup shared across iterations and
+// a recycled engine — so allocs/op shows the steady-state per-run constant
+// rather than the cold-start cost. Results are byte-identical to the
+// fresh-engine path (see TestEngineReuseByteIdentical).
+func BenchmarkRunAsyncReuse(b *testing.B) {
+	g, err := experiment.ParseGraph("complete:2000", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}
+	setup, err := sim.NewSetup(g, nil, model, 0, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("complete:2000", func(b *testing.B) {
+		b.ReportAllocs()
+		eng := &sim.AsyncEngine{}
+		events := 0
+		for i := 0; i < b.N; i++ {
+			res, err := eng.Run(sim.Config{
+				Graph: g,
+				Model: model,
+				Adversary: sim.Adversary{
+					Schedule: sim.WakeAll{},
+					Delays:   sim.RandomDelay{Seed: int64(i)},
+				},
+				Seed:  int64(i),
+				Setup: setup,
+			}, core.Flood{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			events += res.Events
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	})
+}
+
 // BenchmarkRunAsyncMetrics repeats the dense BenchmarkRunAsync workload
 // with the metrics observer attached, measuring the observation overhead.
 // The histograms are allocation-free and lock-free, so the observed run
@@ -456,6 +509,7 @@ func BenchmarkRunAsyncMetrics(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("complete:2000", func(b *testing.B) {
+		b.ReportAllocs()
 		events := 0
 		for i := 0; i < b.N; i++ {
 			reg := riseandshine.NewMetricsRegistry()
@@ -495,6 +549,7 @@ func BenchmarkRunner(b *testing.B) {
 	}
 	for _, w := range []int{1, 4, runtime.NumCPU()} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			runner := experiment.Runner{Workers: w, MasterSeed: 1}
 			for i := 0; i < b.N; i++ {
 				if _, err := runner.Run(specs); err != nil {
@@ -511,6 +566,7 @@ func BenchmarkEngine(b *testing.B) {
 	for _, n := range []int{1024, 4096} {
 		g := riseandshine.RandomConnected(n, 8.0/float64(n), int64(n))
 		b.Run(fmt.Sprintf("async/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			events := 0
 			for i := 0; i < b.N; i++ {
 				res, err := riseandshine.Run(riseandshine.RunConfig{

@@ -1,0 +1,213 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document, so benchmark runs can be committed, diffed, and compared across
+// revisions without parsing free-form benchmark text.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkRunAsync -benchmem . | go run ./cmd/benchjson -o BENCH.json
+//	go run ./cmd/benchjson -baseline OLD.json -o NEW.json < bench.txt
+//
+// Input is the standard benchmark line format:
+//
+//	BenchmarkRunAsync/complete:2000-8  3  4179039495 ns/op  957158 events/s  1764694672 B/op  8044 allocs/op
+//
+// The -cpu suffix is stripped from names, standard unit columns map to
+// fixed JSON fields, and any other `value unit` pair (custom b.ReportMetric
+// units such as events/s) lands in the metrics map. Lines that are not
+// benchmark results are ignored, so raw `go test` output can be piped in
+// unfiltered. With -baseline, each benchmark present in the baseline file
+// gains a baseline block and a speedup factor (old ns/op ÷ new ns/op).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+
+	Baseline *Baseline `json:"baseline,omitempty"`
+	// Speedup is baseline ns/op divided by this run's ns/op (>1 is faster).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// Baseline carries the comparison numbers of an earlier run.
+type Baseline struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	// Context lines (goos/goarch/pkg/cpu) from the benchmark header.
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// stripCPUSuffix removes the trailing -N procs suffix go test appends to
+// benchmark names, so names compare across machines.
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// parseLine parses one benchmark result line; ok is false for any other
+// line (headers, PASS, test logs).
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	bm := Benchmark{Name: stripCPUSuffix(fields[0]), Iterations: iters}
+	// The remainder is `value unit` pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			bm.NsPerOp = val
+		case "B/op":
+			bm.BytesPerOp = val
+		case "allocs/op":
+			bm.AllocsPerOp = val
+		case "MB/s":
+			fallthrough
+		default:
+			if bm.Metrics == nil {
+				bm.Metrics = make(map[string]float64)
+			}
+			bm.Metrics[unit] = val
+		}
+	}
+	return bm, bm.NsPerOp > 0
+}
+
+// parse reads benchmark output, keeping the last result per name (with
+// -count > 1 the final repetition wins; committed artifacts should use a
+// single representative count).
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Context: make(map[string]string)}
+	index := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				rep.Context[key] = v
+			}
+		}
+		bm, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		if i, seen := index[bm.Name]; seen {
+			rep.Benchmarks[i] = bm
+		} else {
+			index[bm.Name] = len(rep.Benchmarks)
+			rep.Benchmarks = append(rep.Benchmarks, bm)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+	return rep, nil
+}
+
+// applyBaseline attaches baseline numbers and speedups by benchmark name.
+func applyBaseline(rep *Report, baselinePath string) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var old Report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	byName := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, bm := range old.Benchmarks {
+		byName[bm.Name] = bm
+	}
+	for i := range rep.Benchmarks {
+		bm := &rep.Benchmarks[i]
+		prev, ok := byName[bm.Name]
+		if !ok {
+			continue
+		}
+		bm.Baseline = &Baseline{
+			NsPerOp:     prev.NsPerOp,
+			BytesPerOp:  prev.BytesPerOp,
+			AllocsPerOp: prev.AllocsPerOp,
+		}
+		if bm.NsPerOp > 0 {
+			bm.Speedup = prev.NsPerOp / bm.NsPerOp
+		}
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline benchjson file to compare against")
+	flag.Parse()
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	if *baseline != "" {
+		if err := applyBaseline(rep, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

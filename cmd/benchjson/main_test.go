@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: riseandshine
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRunAsync/complete:2000-8         	       3	4179039495 ns/op	    957158 events/s	1764694672 B/op	    8044 allocs/op
+BenchmarkRunAsync/torus:64x64-8           	       3	  50193192 ns/op	    408032 events/s	25111440 B/op	   16409 allocs/op
+some test log line
+PASS
+ok  	riseandshine	61.088s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Context["goarch"]; got != "amd64" {
+		t.Errorf("goarch = %q", got)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	bm := rep.Benchmarks[0]
+	if bm.Name != "BenchmarkRunAsync/complete:2000" {
+		t.Errorf("name = %q (cpu suffix should be stripped)", bm.Name)
+	}
+	if bm.Iterations != 3 || bm.NsPerOp != 4179039495 || bm.BytesPerOp != 1764694672 || bm.AllocsPerOp != 8044 {
+		t.Errorf("standard fields wrong: %+v", bm)
+	}
+	if bm.Metrics["events/s"] != 957158 {
+		t.Errorf("custom metric events/s = %v", bm.Metrics["events/s"])
+	}
+}
+
+func TestParseKeepsLastRepetition(t *testing.T) {
+	input := `BenchmarkX-8 1 100 ns/op
+BenchmarkX-8 1 90 ns/op
+`
+	rep, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].NsPerOp != 90 {
+		t.Fatalf("want single result with last ns/op, got %+v", rep.Benchmarks)
+	}
+}
+
+func TestApplyBaseline(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "base.json")
+	old := `{"benchmarks":[{"name":"BenchmarkRunAsync/complete:2000","iterations":3,"ns_per_op":8358078990,"b_per_op":2436639472,"allocs_per_op":12008039}]}`
+	if err := os.WriteFile(base, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := applyBaseline(rep, base); err != nil {
+		t.Fatal(err)
+	}
+	bm := rep.Benchmarks[0]
+	if bm.Baseline == nil || bm.Baseline.NsPerOp != 8358078990 {
+		t.Fatalf("baseline not attached: %+v", bm)
+	}
+	if bm.Speedup < 1.99 || bm.Speedup > 2.01 {
+		t.Errorf("speedup = %v, want ~2.0", bm.Speedup)
+	}
+	if rep.Benchmarks[1].Baseline != nil {
+		t.Error("benchmark missing from baseline should have no baseline block")
+	}
+}

@@ -1,7 +1,10 @@
 package experiment
 
 import (
+	"encoding/json"
+
 	"fmt"
+	"riseandshine"
 	"runtime"
 	"strings"
 	"sync"
@@ -253,6 +256,66 @@ func TestRunnerDuration(t *testing.T) {
 	for i, rr := range bare {
 		if rr.Duration != 0 {
 			t.Errorf("run %d: duration %v without a clock, want 0", i, rr.Duration)
+		}
+	}
+}
+
+// TestRunnerReuseMatchesDirectRuns pins the Runner's reuse machinery
+// (shared Prepared per topology, per-worker recycled engines) against
+// ground truth with no reuse at all: a direct riseandshine.Run per cell.
+// Cacheable cells (pre-built graph, identity ports, an advice scheme so
+// the oracle actually gets shared) must come out byte-identical at every
+// worker count, digests included.
+func TestRunnerReuseMatchesDirectRuns(t *testing.T) {
+	g := riseandshine.RandomConnected(50, 0.1, 13)
+	cell := RunSpec{G: g, Algorithm: "cen", Delays: "random", RecordDigests: true}
+	specs := make([]RunSpec, 12)
+	for i := range specs {
+		specs[i] = cell
+	}
+	master := int64(77)
+
+	marshal := func(res *sim.Result) string {
+		data, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	want := make([]string, len(specs))
+	for i := range specs {
+		seed := sim.RunSeed(master, i)
+		delays, err := ParseDelays(cell.Delays, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := riseandshine.Run(riseandshine.RunConfig{
+			Graph:         g,
+			Algorithm:     cell.Algorithm,
+			Schedule:      riseandshine.WakeSet{Nodes: []int{0}},
+			Delays:        delays,
+			Seed:          seed,
+			RecordDigests: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = marshal(res)
+	}
+
+	for _, workers := range []int{1, 4} {
+		results, err := Runner{Workers: workers, MasterSeed: master}.Run(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, rr := range results {
+			if got := marshal(rr.Res); got != want[i] {
+				t.Fatalf("workers=%d run %d: reused result differs from direct run\ndirect: %s\nrunner: %s",
+					workers, i, want[i], got)
+			}
+			if len(rr.Res.TranscriptDigests) == 0 {
+				t.Fatalf("workers=%d run %d: digests missing", workers, i)
+			}
 		}
 	}
 }

@@ -92,6 +92,43 @@ func (pm *PortMap) PortTo(v, u int) int {
 	return int(pm.inv[v][lo])
 }
 
+// CSR exports the port mapping as flat compressed-sparse-row arrays over
+// directed edges. The out-edge of node v addressed by port p (1-based)
+// lives at flat index start[v]+p-1; start[n] equals 2·M(). For that edge,
+// to[ei] is the neighbor index the port leads to, and rev[ei] is the port
+// at the neighbor whose edge leads back to v — i.e. PortTo(to[ei], v) —
+// precomputed so per-message paths never binary-search the adjacency list.
+//
+// The arrays are a snapshot: SwapPorts invalidates them, so callers that
+// mutate the mapping must re-export.
+func (pm *PortMap) CSR() (start, to, rev []int32) {
+	n := pm.g.N()
+	start = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		start[v+1] = start[v] + int32(len(pm.ports[v]))
+	}
+	to = make([]int32, start[n])
+	rev = make([]int32, start[n])
+	for v := 0; v < n; v++ {
+		copy(to[start[v]:start[v+1]], pm.ports[v])
+	}
+	// Fill rev in O(m): scanning nodes in ascending order, the neighbors u
+	// of any fixed node w are visited in ascending u as well, and adj[w] is
+	// sorted — so u's position in adj[w] is just how many of w's neighbors
+	// have been visited so far.
+	seen := make([]int32, n)
+	for u := 0; u < n; u++ {
+		for i, w := range pm.g.adj[u] {
+			j := seen[w]
+			seen[w]++
+			// directed edge u→w via port inv[u][i]; its reverse port is the
+			// port at w leading to adj[w][j] = u.
+			rev[start[u]+pm.inv[u][i]-1] = pm.inv[w][j]
+		}
+	}
+	return start, to, rev
+}
+
 // SwapPorts exchanges the two given ports at node v, preserving bijectivity.
 // Lower-bound experiments use this to construct indistinguishable
 // configurations.

@@ -118,7 +118,7 @@ func (c nodeCtx) AdversarialWake() bool { return c.n.advWoken }
 func (c nodeCtx) Send(port int, m sim.Message) {
 	e := c.n.eng
 	from := c.n.index
-	to := e.pm.Neighbor(from, port)
+	to := e.pm.Neighbor(from, port) // validates the port (panics like the sim engines)
 	e.mu.Lock()
 	err := e.acct.Send(from, port, m.Bits())
 	if err == nil && e.obs != nil {
@@ -129,15 +129,14 @@ func (c nodeCtx) Send(port int, m sim.Message) {
 		e.fail(err)
 		return
 	}
-	fromID := graph.NodeID(-1)
-	if e.cfg.Model.Knowledge == sim.KT1 {
-		fromID = e.g.ID(from)
-	}
+	// Receiver-side port and sender ID come from the Setup's CSR edge
+	// metadata, shared with the deterministic engines.
+	ei := e.s.EdgeStart[from] + int32(port) - 1
 	e.deliver(to, sim.Delivery{
 		Msg:        m,
-		Port:       e.pm.PortTo(to, from),
+		Port:       int(e.s.RevPort[ei]),
 		SenderPort: port,
-		From:       fromID,
+		From:       e.s.SenderIDs[from],
 	})
 }
 

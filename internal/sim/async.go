@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"io"
 	"math/rand"
@@ -31,6 +30,13 @@ type Config struct {
 	// to node v.
 	Advice     [][]byte
 	AdviceBits []int
+	// Setup, when non-nil, supplies a prebuilt harness Setup so sweeps can
+	// amortize the per-topology work (NodeInfo tables, CSR edge metadata)
+	// across runs. It must have been built from the same Graph, Ports,
+	// Model, and Advice as this Config; the run seed is taken from Seed
+	// (the Setup is reseeded via WithSeed), so one cached Setup serves an
+	// entire seed matrix.
+	Setup *Setup
 	// MaxEvents overrides DefaultMaxEvents when positive.
 	MaxEvents int
 	// TrackPorts enables per-node distinct-port accounting (Result.PortsUsed).
@@ -65,80 +71,88 @@ type event struct {
 	d    Delivery
 }
 
-type eventQueue []event
+// AsyncEngine is a reusable instance of the asynchronous engine. The zero
+// value is ready to use: Run allocates the scratch state — event heap,
+// awake/machine/RNG tables, per-edge FIFO clamp and sequence arrays — on
+// first use and thereafter resets it in place rather than reallocating, so
+// repeated runs (a seed sweep over a fixed topology) allocate nothing per
+// delivered message in steady state. Combined with Config.Setup the
+// per-run cost drops to the Result being assembled.
+//
+// An AsyncEngine is not safe for concurrent use and must not be copied
+// after its first Run (per-node contexts hold a pointer to it); give each
+// sweep worker its own.
+type AsyncEngine struct {
+	// Per-run state, overwritten by Run.
+	alg    Algorithm
+	g      *graph.Graph
+	s      *Setup
+	acct   *Accounting
+	obs    Observer
+	delays Delayer
+	seed   int64
+	seq    int64
+	now    Time
+	err    error
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
-
-// asyncEngine holds all mutable execution state. Setup (node info, ports,
-// RNG derivation), accounting (counters and Result assembly), and
-// observation (trace/digest/metrics) live in the shared harness types; the
-// engine itself owns only the event queue and the per-edge FIFO state.
-type asyncEngine struct {
-	cfg      Config
-	alg      Algorithm
-	g        *graph.Graph
-	pm       *graph.PortMap
-	s        *Setup
-	acct     *Accounting
-	obs      Observer
-	delays   Delayer
-	queue    eventQueue
-	seq      int64
-	now      Time
+	// Reusable scratch: reset, not reallocated (see DESIGN.md "Event
+	// core"). Per-directed-edge state is indexed CSR-style through
+	// Setup.EdgeStart: the out-edge of node v addressed by port p lives at
+	// flat index EdgeStart[v]+p-1. Ports are per-node bijections fixed for
+	// the run, so (node, port) identifies a directed edge without any map
+	// lookup.
+	queue    eventHeap
 	awake    []bool
 	machines []Program
 	rands    []*rand.Rand
-	// Per-directed-edge state, indexed CSR-style: the out-edge of node v
-	// addressed by port p lives at flat index edgeStart[v]+p-1. Ports are
-	// per-node bijections onto the neighbor set and fixed for the run, so
-	// (node, port) identifies a directed edge without any map lookup.
-	edgeStart []int32
-	fifoLast  []Time  // last scheduled delivery time (zero value never clamps: delivery times are > 0)
-	edgeSeq   []int32 // messages sent so far on the edge
-	err       error
+	ctxs     []asyncCtx
+	fifoLast []Time  // last scheduled delivery time (zero value never clamps: delivery times are > 0)
+	edgeSeq  []int32 // messages sent so far on the edge
 }
 
-// asyncCtx is the Context handed to machine handlers; it is bound to the
-// node currently being executed.
+// asyncCtx is the Context handed to machine handlers; it is bound to one
+// node of one engine. The engine keeps a per-node table of these and hands
+// out pointers, so the Context-interface conversion never allocates on the
+// per-message path.
 type asyncCtx struct {
-	e    *asyncEngine
+	e    *AsyncEngine
 	node int
 }
 
-var _ Context = asyncCtx{}
+var _ Context = (*asyncCtx)(nil)
 
-func (c asyncCtx) Info() NodeInfo        { return c.e.s.Infos[c.node] }
-func (c asyncCtx) Now() Time             { return c.e.now }
-func (c asyncCtx) Round() int            { return -1 }
-func (c asyncCtx) Rand() *rand.Rand      { return c.e.rands[c.node] }
-func (c asyncCtx) AdversarialWake() bool { return c.e.acct.AdversaryWoken(c.node) }
+func (c *asyncCtx) Info() NodeInfo        { return c.e.s.Infos[c.node] }
+func (c *asyncCtx) Now() Time             { return c.e.now }
+func (c *asyncCtx) Round() int            { return -1 }
+func (c *asyncCtx) Rand() *rand.Rand      { return c.e.rands[c.node] }
+func (c *asyncCtx) AdversarialWake() bool { return c.e.acct.AdversaryWoken(c.node) }
 
-func (c asyncCtx) Send(port int, m Message) {
+func (c *asyncCtx) Send(port int, m Message) {
 	c.e.send(c.node, port, m)
 }
 
-func (c asyncCtx) SendToID(id graph.NodeID, m Message) {
+func (c *asyncCtx) SendToID(id graph.NodeID, m Message) {
 	c.e.sendToID(c.node, id, m)
 }
 
-func (c asyncCtx) Broadcast(m Message) {
-	for p := 1; p <= c.e.g.Degree(c.node); p++ {
+func (c *asyncCtx) Broadcast(m Message) {
+	start := c.e.s.EdgeStart
+	deg := int(start[c.node+1] - start[c.node])
+	for p := 1; p <= deg; p++ {
 		c.e.send(c.node, p, m)
 	}
 }
 
 // RunAsync executes alg on the configured network until the event queue is
-// exhausted and returns the collected metrics.
+// exhausted and returns the collected metrics. It runs on a fresh engine;
+// use an explicit AsyncEngine to reuse scratch state across runs.
 func RunAsync(cfg Config, alg Algorithm) (*Result, error) {
+	return new(AsyncEngine).Run(cfg, alg)
+}
+
+// Run executes one configuration on the engine, resetting — not
+// reallocating — the scratch state left by any previous run.
+func (e *AsyncEngine) Run(cfg Config, alg Algorithm) (*Result, error) {
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("sim: Config.Graph is required")
 	}
@@ -148,9 +162,24 @@ func RunAsync(cfg Config, alg Algorithm) (*Result, error) {
 	if cfg.Adversary.Schedule == nil {
 		return nil, fmt.Errorf("sim: Config.Adversary.Schedule is required")
 	}
-	s, err := NewSetup(cfg.Graph, cfg.Ports, cfg.Model, cfg.Seed, cfg.Advice, cfg.AdviceBits)
-	if err != nil {
-		return nil, err
+	s := cfg.Setup
+	if s == nil {
+		var err error
+		s, err = NewSetup(cfg.Graph, cfg.Ports, cfg.Model, cfg.Seed, cfg.Advice, cfg.AdviceBits)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if s.Graph != cfg.Graph {
+			return nil, fmt.Errorf("sim: Config.Setup was built for a different graph")
+		}
+		if s.Model != cfg.Model {
+			return nil, fmt.Errorf("sim: Config.Setup was built for model %v, config wants %v", s.Model, cfg.Model)
+		}
+		if cfg.Ports != nil && s.Ports != cfg.Ports {
+			return nil, fmt.Errorf("sim: Config.Setup was built for a different port map")
+		}
+		s = s.WithSeed(cfg.Seed)
 	}
 	g := s.Graph
 	delays := cfg.Adversary.Delays
@@ -162,37 +191,31 @@ func RunAsync(cfg Config, alg Algorithm) (*Result, error) {
 		return nil, err
 	}
 
-	n := g.N()
-	e := &asyncEngine{
-		cfg:      cfg,
-		alg:      alg,
-		g:        g,
-		pm:       s.Ports,
-		s:        s,
-		acct:     NewAccounting(s, alg.Name(), cfg.TrackPorts),
-		obs:      cfg.observer(),
-		delays:   delays,
-		awake:    make([]bool, n),
-		machines: make([]Program, n),
-		rands:    make([]*rand.Rand, n),
-	}
-	// CSR-style directed-edge index, built once: prefix sums of degrees.
-	e.edgeStart = make([]int32, n+1)
-	for v := 0; v < n; v++ {
-		e.edgeStart[v+1] = e.edgeStart[v] + int32(g.Degree(v))
-	}
-	dir := e.edgeStart[n] // = 2·M()
-	e.fifoLast = make([]Time, dir)
-	e.edgeSeq = make([]int32, dir)
+	e.alg = alg
+	e.g = g
+	e.s = s
+	e.acct = NewAccounting(s, alg.Name(), cfg.TrackPorts)
+	e.obs = cfg.observer()
+	e.delays = delays
+	e.seed = cfg.Seed
+	e.seq = 0
+	e.now = 0
+	e.err = nil
+	e.reset(g.N(), int(s.EdgeStart[g.N()]))
+
 	// Pre-size the event heap: enough for the schedule plus a generous
 	// in-flight message buffer, capped so dense graphs don't over-allocate
-	// (the slice still grows on demand).
-	capacity := n + 2*g.M()
+	// (the heap still grows on demand).
+	capacity := g.N() + 2*g.M()
 	if capacity > 1<<16 {
 		capacity = 1 << 16
 	}
-	e.queue = make(eventQueue, 0, capacity)
+	e.queue.reset(capacity)
 
+	// Wake events enter through push, which maintains the heap invariant on
+	// its own — there is no separate "heapify" step. (The container/heap
+	// predecessor called heap.Init here redundantly for the same reason;
+	// TestWakePushesKeepHeapOrdered pins the invariant.)
 	for _, w := range wakeups {
 		e.push(event{at: w.At, kind: evWake, node: w.Node})
 	}
@@ -203,12 +226,11 @@ func RunAsync(cfg Config, alg Algorithm) (*Result, error) {
 	}
 
 	res := e.acct.Result()
-	heap.Init(&e.queue)
-	for e.queue.Len() > 0 {
+	for e.queue.len() > 0 {
 		if res.Events >= maxEvents {
 			return nil, fmt.Errorf("sim: event limit %d exceeded (algorithm %q may not terminate)", maxEvents, alg.Name())
 		}
-		ev := heap.Pop(&e.queue).(event)
+		ev := e.queue.pop()
 		e.now = ev.at
 		res.Events++
 		switch ev.kind {
@@ -236,6 +258,41 @@ func RunAsync(cfg Config, alg Algorithm) (*Result, error) {
 	return res, nil
 }
 
+// reset sizes and clears the scratch for n nodes and dir directed edges,
+// reusing backing arrays whenever they are large enough. RNG instances are
+// deliberately kept across runs: wake reseeds a node's generator to the
+// run's stream, which produces exactly the bits a fresh NodeRand would
+// (see ReseedNode), without the ~5 KiB source allocation.
+func (e *AsyncEngine) reset(n, dir int) {
+	e.awake = growClear(e.awake, n)
+	e.machines = growClear(e.machines, n)
+	e.fifoLast = growClear(e.fifoLast, dir)
+	e.edgeSeq = growClear(e.edgeSeq, dir)
+	if len(e.rands) < n {
+		r := make([]*rand.Rand, n)
+		copy(r, e.rands)
+		e.rands = r
+	}
+	if len(e.ctxs) < n {
+		e.ctxs = make([]asyncCtx, n)
+		for v := range e.ctxs {
+			e.ctxs[v] = asyncCtx{e: e, node: v}
+		}
+	}
+}
+
+// growClear returns s with length n and every element zeroed, reusing the
+// backing array when capacity allows — the reset-not-reallocate primitive
+// behind the engine scratch.
+func growClear[E any](s []E, n int) []E {
+	if cap(s) < n {
+		return make([]E, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
 // observer assembles the run's observer stack from the Trace and
 // RecordDigests shorthands plus the explicit Observer slot.
 func (cfg Config) observer() Observer {
@@ -249,29 +306,31 @@ func (cfg Config) observer() Observer {
 	return StackObservers(trace, digest, cfg.Observer)
 }
 
-func (e *asyncEngine) push(ev event) {
+func (e *AsyncEngine) push(ev event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 }
 
-func (e *asyncEngine) wake(v int, adversarial bool) {
+func (e *AsyncEngine) wake(v int, adversarial bool) {
 	if e.awake[v] {
 		return
 	}
 	e.awake[v] = true
 	e.acct.Wake(v, e.now, adversarial)
-	if e.rands[v] == nil {
-		e.rands[v] = e.s.Rand(v)
+	if r := e.rands[v]; r == nil {
+		e.rands[v] = NodeRand(e.seed, v)
+	} else {
+		ReseedNode(r, e.seed, v)
 	}
 	if e.obs != nil {
 		e.obs.OnWake(e.now, v, adversarial)
 	}
 	e.machines[v] = e.alg.NewMachine(e.s.Infos[v])
-	e.machines[v].OnWake(asyncCtx{e: e, node: v})
+	e.machines[v].OnWake(&e.ctxs[v])
 }
 
-func (e *asyncEngine) deliver(v int, d Delivery) {
+func (e *AsyncEngine) deliver(v int, d Delivery) {
 	if !e.awake[v] {
 		e.wake(v, false)
 		if e.err != nil {
@@ -282,10 +341,10 @@ func (e *asyncEngine) deliver(v int, d Delivery) {
 	if e.obs != nil {
 		e.obs.OnDeliver(e.now, v, d)
 	}
-	e.machines[v].OnMessage(asyncCtx{e: e, node: v}, d)
+	e.machines[v].OnMessage(&e.ctxs[v], d)
 }
 
-func (e *asyncEngine) send(from, port int, m Message) {
+func (e *AsyncEngine) send(from, port int, m Message) {
 	if e.err != nil {
 		return
 	}
@@ -293,7 +352,13 @@ func (e *asyncEngine) send(from, port int, m Message) {
 		e.err = fmt.Errorf("sim: sleeping node %d attempted to send", from)
 		return
 	}
-	to := e.pm.Neighbor(from, port)
+	s := e.s
+	ei := s.EdgeStart[from] + int32(port) - 1
+	if port < 1 || ei >= s.EdgeStart[from+1] {
+		// Same contract (and message) as graph.PortMap.Neighbor.
+		panic(fmt.Sprintf("graph: node %d has no port %d (degree %d)", from, port, s.EdgeStart[from+1]-s.EdgeStart[from]))
+	}
+	to := int(s.EdgeTo[ei])
 	if err := e.acct.Send(from, port, m.Bits()); err != nil {
 		e.err = err
 		return
@@ -302,7 +367,6 @@ func (e *asyncEngine) send(from, port int, m Message) {
 		e.obs.OnSend(e.now, from, port, m)
 	}
 
-	ei := e.edgeStart[from] + int32(port) - 1
 	k := int(e.edgeSeq[ei])
 	e.edgeSeq[ei]++
 	delay := e.delays.Delay(from, to, k, e.now)
@@ -316,26 +380,22 @@ func (e *asyncEngine) send(from, port int, m Message) {
 	}
 	e.fifoLast[ei] = at
 
-	from64 := graph.NodeID(-1)
-	if e.cfg.Model.Knowledge == KT1 {
-		from64 = e.g.ID(from)
-	}
 	e.push(event{
 		at:   at,
 		kind: evDeliver,
 		node: to,
 		d: Delivery{
 			Msg:        m,
-			Port:       e.pm.PortTo(to, from),
+			Port:       int(s.RevPort[ei]),
 			SenderPort: port,
-			From:       from64,
+			From:       s.SenderIDs[from],
 		},
 	})
 }
 
-func (e *asyncEngine) sendToID(from int, id graph.NodeID, m Message) {
-	if e.cfg.Model.Knowledge != KT1 {
-		e.err = fmt.Errorf("sim: SendToID requires KT1 (model is %v)", e.cfg.Model.Knowledge)
+func (e *AsyncEngine) sendToID(from int, id graph.NodeID, m Message) {
+	if e.s.Model.Knowledge != KT1 {
+		e.err = fmt.Errorf("sim: SendToID requires KT1 (model is %v)", e.s.Model.Knowledge)
 		return
 	}
 	to := e.g.IndexOf(id)
@@ -343,5 +403,5 @@ func (e *asyncEngine) sendToID(from int, id graph.NodeID, m Message) {
 		e.err = fmt.Errorf("sim: node ID %d has no neighbor with ID %d", e.g.ID(from), id)
 		return
 	}
-	e.send(from, e.pm.PortTo(from, to), m)
+	e.send(from, e.s.Ports.PortTo(from, to), m)
 }

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"riseandshine/internal/graph"
+)
+
+// TestReseedNodeMatchesNodeRand pins the RNG-reuse contract: reseeding a
+// recycled generator yields exactly the stream a fresh NodeRand would, so
+// engine reuse cannot perturb node randomness.
+func TestReseedNodeMatchesNodeRand(t *testing.T) {
+	recycled := NodeRand(999, 0)
+	for i := 0; i < 100; i++ { // desynchronize the recycled generator
+		recycled.Int63()
+	}
+	for _, seed := range []int64{0, 1, -7, 1 << 40} {
+		for _, v := range []int{0, 1, 63} {
+			fresh := NodeRand(seed, v)
+			ReseedNode(recycled, seed, v)
+			for i := 0; i < 50; i++ {
+				if a, b := fresh.Int63(), recycled.Int63(); a != b {
+					t.Fatalf("seed %d node %d draw %d: fresh %d, reseeded %d", seed, v, i, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestSetupWithSeed checks the copy semantics behind cross-seed Setup
+// caching: same seed returns the receiver, a new seed returns a shallow
+// copy sharing the topology tables.
+func TestSetupWithSeed(t *testing.T) {
+	g := graph.Complete(6)
+	s, err := NewSetup(g, nil, Model{Knowledge: KT0, Bandwidth: Local}, 5, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.WithSeed(5) != s {
+		t.Error("WithSeed with the same seed should return the receiver")
+	}
+	c := s.WithSeed(6)
+	if c == s {
+		t.Fatal("WithSeed with a new seed must copy")
+	}
+	if c.Seed != 6 || s.Seed != 5 {
+		t.Errorf("seeds after WithSeed: copy %d (want 6), original %d (want 5)", c.Seed, s.Seed)
+	}
+	if &c.EdgeStart[0] != &s.EdgeStart[0] || &c.Infos[0] != &s.Infos[0] {
+		t.Error("WithSeed should share the topology tables, not clone them")
+	}
+}
+
+// reuseConfigs is a mixed workload — sizes shrink and grow between runs so
+// scratch reuse exercises both the reslice-and-clear and the grow path —
+// with randomized algorithms so stale RNG state would show up.
+func reuseConfigs(t *testing.T) []Config {
+	t.Helper()
+	graphs := []*graph.Graph{
+		graph.RandomConnected(60, 0.1, newTestRand(1)),
+		graph.Complete(12),
+		graph.RandomConnected(90, 0.07, newTestRand(2)),
+		graph.Path(25),
+	}
+	var cfgs []Config
+	for i, g := range graphs {
+		for seed := int64(0); seed < 3; seed++ {
+			cfgs = append(cfgs, Config{
+				Graph: g,
+				Model: Model{Knowledge: KT0, Bandwidth: Local},
+				Adversary: Adversary{
+					Schedule: RandomWake{Count: 2 + i, Window: 3, Seed: seed},
+					Delays:   RandomDelay{Seed: seed + 11},
+				},
+				Seed:          seed,
+				RecordDigests: true,
+			})
+		}
+	}
+	return cfgs
+}
+
+// TestEngineReuseByteIdentical is the engine-reuse regression guard: one
+// AsyncEngine recycled across a mixed workload must produce byte-for-byte
+// the Results (digests included) of a fresh engine per run.
+func TestEngineReuseByteIdentical(t *testing.T) {
+	eng := &AsyncEngine{}
+	for i, cfg := range reuseConfigs(t) {
+		alg := fuzzAlg{budget: 12}
+		fresh, err := RunAsync(cfg, alg)
+		if err != nil {
+			t.Fatalf("run %d fresh: %v", i, err)
+		}
+		reused, err := eng.Run(cfg, alg)
+		if err != nil {
+			t.Fatalf("run %d reused: %v", i, err)
+		}
+		a, b := marshalResult(t, fresh), marshalResult(t, reused)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("run %d: reused engine diverged from fresh engine\nfresh:  %s\nreused: %s", i, a, b)
+		}
+	}
+}
+
+// TestSetupReuseByteIdentical checks the other reuse axis: one Setup built
+// once per topology and reseeded per run must match per-run NewSetup.
+func TestSetupReuseByteIdentical(t *testing.T) {
+	setups := map[*graph.Graph]*Setup{}
+	eng := &AsyncEngine{}
+	for i, cfg := range reuseConfigs(t) {
+		alg := fuzzAlg{budget: 12}
+		fresh, err := RunAsync(cfg, alg)
+		if err != nil {
+			t.Fatalf("run %d fresh: %v", i, err)
+		}
+		s := setups[cfg.Graph]
+		if s == nil {
+			// Deliberately built with a seed no run uses: WithSeed must cover.
+			if s, err = NewSetup(cfg.Graph, nil, cfg.Model, -12345, nil, nil); err != nil {
+				t.Fatalf("run %d setup: %v", i, err)
+			}
+			setups[cfg.Graph] = s
+		}
+		cfg.Setup = s
+		reused, err := eng.Run(cfg, alg)
+		if err != nil {
+			t.Fatalf("run %d with shared setup: %v", i, err)
+		}
+		a, b := marshalResult(t, fresh), marshalResult(t, reused)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("run %d: shared-Setup run diverged\nfresh:  %s\nshared: %s", i, a, b)
+		}
+	}
+}
+
+// floodAlg broadcasts once on wake and stays silent on messages; machines
+// and messages are zero-size values, so the algorithm itself contributes no
+// allocations — it isolates the engine's per-message cost for the
+// zero-alloc guard below.
+type floodAlg struct{}
+
+func (floodAlg) Name() string                { return "flood-test" }
+func (floodAlg) NewMachine(NodeInfo) Program { return floodMachine{} }
+
+type floodMachine struct{}
+
+type pingMsg struct{}
+
+func (pingMsg) Bits() int { return 1 }
+
+func (floodMachine) OnWake(ctx Context)          { ctx.Broadcast(pingMsg{}) }
+func (floodMachine) OnMessage(Context, Delivery) {}
+
+// TestAsyncSteadyStateZeroAllocs pins the headline property of the event
+// core: with a prebuilt Setup and a warmed engine, a run's allocation
+// *count* is a small constant — independent of the graph size and of the
+// number of delivered messages. Complete graphs of two sizes differ by an
+// order of magnitude in message count; equal counts therefore mean zero
+// allocations per delivered message in steady state.
+func TestAsyncSteadyStateZeroAllocs(t *testing.T) {
+	measure := func(n int) (allocs float64, messages int) {
+		g := graph.Complete(n)
+		s, err := NewSetup(g, nil, Model{Knowledge: KT0, Bandwidth: Local}, 1, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := &AsyncEngine{}
+		cfg := Config{
+			Graph:     g,
+			Model:     Model{Knowledge: KT0, Bandwidth: Local},
+			Adversary: Adversary{Schedule: WakeSet{Nodes: []int{0}}},
+			Seed:      1,
+			Setup:     s,
+		}
+		run := func() *Result {
+			res, err := eng.Run(cfg, floodAlg{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		messages = run().Messages // also warms the engine scratch
+		return testing.AllocsPerRun(5, func() { run() }), messages
+	}
+	smallAllocs, smallMsgs := measure(12)
+	bigAllocs, bigMsgs := measure(40)
+	if bigMsgs < 8*smallMsgs {
+		t.Fatalf("workloads not separated: %d vs %d messages", smallMsgs, bigMsgs)
+	}
+	if bigAllocs != smallAllocs {
+		t.Errorf("allocation count scales with traffic: %.0f allocs at %d msgs, %.0f allocs at %d msgs (want equal)",
+			smallAllocs, smallMsgs, bigAllocs, bigMsgs)
+	}
+	// The absolute constant is the per-run Result assembly; keep it honest
+	// so a regression that adds per-run waste also fails loudly.
+	if bigAllocs > 40 {
+		t.Errorf("per-run constant allocation count too high: %.0f", bigAllocs)
+	}
+	t.Logf("allocs/run: %.0f (at %d msgs) and %.0f (at %d msgs)", smallAllocs, smallMsgs, bigAllocs, bigMsgs)
+}

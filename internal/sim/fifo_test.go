@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"encoding/json"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -139,4 +140,118 @@ type recordingDelayer struct {
 func (r *recordingDelayer) Delay(from, to, k int, _ Time) float64 {
 	r.seen[[2]int{from, to}] = append(r.seen[[2]int{from, to}], k)
 	return 1
+}
+
+// quantizedDelay rounds adversarial random delays up onto a coarse grid of
+// q steps, so distinct messages frequently collide on identical delivery
+// timestamps and the engine must fall back to the seq tie-break. It stays
+// within the Delayer contract: values lie in {1/q, 2/q, ..., 1} ⊂ (0, 1].
+type quantizedDelay struct {
+	inner RandomDelay
+	q     int
+}
+
+func (d quantizedDelay) Delay(from, to, k int, now Time) float64 {
+	raw := d.inner.Delay(from, to, k, now)
+	steps := int(raw * float64(d.q))
+	if float64(steps) < raw*float64(d.q) { // ceil
+		steps++
+	}
+	if steps < 1 {
+		steps = 1
+	}
+	if steps > d.q {
+		steps = d.q
+	}
+	return float64(steps) / float64(d.q)
+}
+
+// FuzzFIFODeterminism drives the monomorphic event heap through whole-engine
+// runs under adversarial quantized delays (many duplicate timestamps) and
+// asserts the engine's two ordering contracts at once:
+//
+//   - per-directed-edge FIFO: deliveries on each (receiver, port) pair carry
+//     non-decreasing times, and the global event stream is replayed in
+//     non-decreasing time order ((at, seq) total order);
+//   - determinism under reuse: a recycled engine reproduces the fresh
+//     engine's trace and Result byte for byte.
+func FuzzFIFODeterminism(f *testing.F) {
+	f.Add(int64(1), uint8(30), uint8(2), uint8(6))
+	f.Add(int64(-9), uint8(7), uint8(1), uint8(12))
+	f.Add(int64(1<<33), uint8(255), uint8(4), uint8(3))
+	reused := &AsyncEngine{}
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, qRaw, budget uint8) {
+		n := int(nRaw)%40 + 2
+		q := int(qRaw)%8 + 1 // coarse grids maximize timestamp collisions
+		g := graph.RandomConnected(n, 0.15, newTestRand(seed))
+		run := func(eng *AsyncEngine) (*Result, string) {
+			var trace bytes.Buffer
+			res, err := eng.Run(Config{
+				Graph: g,
+				Ports: graph.RandomPorts(g, newTestRand(seed+1)),
+				Model: Model{Knowledge: KT0, Bandwidth: Local},
+				Adversary: Adversary{
+					Schedule: RandomWake{Count: int(nRaw)%3 + 1, Window: 2, Seed: seed},
+					Delays:   quantizedDelay{inner: RandomDelay{Seed: seed}, q: q},
+				},
+				Seed:          seed,
+				RecordDigests: true,
+				Trace:         &trace,
+			}, fuzzAlg{budget: int(budget)%16 + 1})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			return res, trace.String()
+		}
+		fresh, freshTrace := run(&AsyncEngine{})
+		again, reusedTrace := run(reused)
+
+		if freshTrace != reusedTrace {
+			t.Fatal("reused engine produced a different event trace")
+		}
+		a, err := json.Marshal(fresh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("reused engine produced a different Result:\nfresh:  %s\nreused: %s", a, b)
+		}
+
+		type edge struct{ node, port int }
+		lastEdge := make(map[edge]float64)
+		lastAt := 0.0
+		deliveries := 0
+		for i, line := range strings.Split(freshTrace, "\n") {
+			if i == 0 || line == "" {
+				continue
+			}
+			fields := strings.Split(line, ",")
+			at, err := strconv.ParseFloat(fields[0], 64)
+			if err != nil {
+				t.Fatalf("trace line %d: bad time %q", i, fields[0])
+			}
+			if at < lastAt {
+				t.Fatalf("event replay out of time order: %g after %g (line %d)", at, lastAt, i)
+			}
+			lastAt = at
+			if fields[1] != "deliver" {
+				continue
+			}
+			node, _ := strconv.Atoi(fields[2])
+			port, _ := strconv.Atoi(fields[3])
+			e := edge{node, port}
+			if prev, ok := lastEdge[e]; ok && at < prev {
+				t.Fatalf("FIFO violation on edge into node %d port %d: %g after %g", node, port, at, prev)
+			}
+			lastEdge[e] = at
+			deliveries++
+		}
+		if deliveries == 0 && fresh.Messages > 0 {
+			t.Fatal("trace recorded no deliveries despite message traffic")
+		}
+	})
 }

@@ -37,6 +37,15 @@ func NodeRand(seed int64, v int) *rand.Rand {
 	return rand.New(rand.NewSource(deriveSeed(seed, streamNodeRand, uint64(v))))
 }
 
+// ReseedNode re-seeds r in place to node v's private stream under the given
+// run seed — exactly the stream a fresh NodeRand(seed, v) produces, without
+// allocating (rand.Rand.Seed resets both the generator state and the Read
+// position). Engine scratch reuse depends on this equivalence; a test pins
+// it against NodeRand.
+func ReseedNode(r *rand.Rand, seed int64, v int) {
+	r.Seed(deriveSeed(seed, streamNodeRand, uint64(v)))
+}
+
 // RunSeed derives the seed of the index-th run of an experiment matrix from
 // a master seed. Because the derivation depends only on (master, index),
 // runs may execute in any order — or concurrently — and still reproduce the

@@ -28,6 +28,20 @@ type Setup struct {
 	// CongestLimit is the enforced per-message bit limit (0 = none).
 	CongestLimit int
 
+	// EdgeStart, EdgeTo and RevPort are the CSR edge-metadata arrays shared
+	// by every executor's send path (see graph.PortMap.CSR): the out-edge of
+	// node v addressed by port p lives at flat index EdgeStart[v]+p-1,
+	// EdgeTo[ei] is the receiving node, and RevPort[ei] is the receiver-side
+	// port — PortTo precomputed once per topology, so no per-message binary
+	// search.
+	EdgeStart []int32
+	EdgeTo    []int32
+	RevPort   []int32
+	// SenderIDs[v] is the Delivery.From value for messages sent by v: the
+	// node's ID under KT1 and -1 under KT0, so send paths fill the field
+	// with one unconditional load.
+	SenderIDs []graph.NodeID
+
 	adviceTotalBits int64
 	adviceMaxBits   int
 }
@@ -62,7 +76,31 @@ func NewSetup(g *graph.Graph, ports *graph.PortMap, model Model, seed int64, adv
 			s.adviceMaxBits = b
 		}
 	}
+	s.EdgeStart, s.EdgeTo, s.RevPort = ports.CSR()
+	s.SenderIDs = make([]graph.NodeID, g.N())
+	for v := range s.SenderIDs {
+		if model.Knowledge == KT1 {
+			s.SenderIDs[v] = g.ID(v)
+		} else {
+			s.SenderIDs[v] = -1
+		}
+	}
 	return s, nil
+}
+
+// WithSeed returns a Setup for the same configuration under a different run
+// seed. All topology-derived state (Infos, port map, CSR edge metadata) is
+// shared with the receiver — only the seed behind Rand differs — which is
+// what lets sweeps cache one Setup per (graph, ports, model, advice) and
+// replay it across a seed matrix. Returns the receiver itself when the seed
+// already matches.
+func (s *Setup) WithSeed(seed int64) *Setup {
+	if seed == s.Seed {
+		return s
+	}
+	c := *s
+	c.Seed = seed
+	return &c
 }
 
 // Rand returns node v's private randomness source, derived from the run

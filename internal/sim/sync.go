@@ -22,6 +22,10 @@ type SyncConfig struct {
 	Seed       int64
 	Advice     [][]byte
 	AdviceBits []int
+	// Setup, when non-nil, supplies a prebuilt harness Setup (same contract
+	// as Config.Setup on the asynchronous engine): it must match Graph,
+	// Ports, Model, and Advice, and is reseeded to Seed for the run.
+	Setup *Setup
 	// MaxRounds overrides DefaultMaxRounds when positive.
 	MaxRounds int
 	// TrackPorts enables Result.PortsUsed accounting.
@@ -96,9 +100,24 @@ func RunSync(cfg SyncConfig, alg SyncAlgorithm) (*Result, error) {
 	if cfg.Schedule == nil {
 		return nil, fmt.Errorf("sim: SyncConfig.Schedule is required")
 	}
-	s, err := NewSetup(cfg.Graph, cfg.Ports, cfg.Model, cfg.Seed, cfg.Advice, cfg.AdviceBits)
-	if err != nil {
-		return nil, err
+	s := cfg.Setup
+	if s == nil {
+		var err error
+		s, err = NewSetup(cfg.Graph, cfg.Ports, cfg.Model, cfg.Seed, cfg.Advice, cfg.AdviceBits)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if s.Graph != cfg.Graph {
+			return nil, fmt.Errorf("sim: SyncConfig.Setup was built for a different graph")
+		}
+		if s.Model != cfg.Model {
+			return nil, fmt.Errorf("sim: SyncConfig.Setup was built for model %v, config wants %v", s.Model, cfg.Model)
+		}
+		if cfg.Ports != nil && s.Ports != cfg.Ports {
+			return nil, fmt.Errorf("sim: SyncConfig.Setup was built for a different port map")
+		}
+		s = s.WithSeed(cfg.Seed)
 	}
 	g := s.Graph
 	wakeups := cfg.Schedule.Wakeups(g)
@@ -261,7 +280,16 @@ func (e *syncEngine) send(from, port int, m Message) {
 	if e.err != nil {
 		return
 	}
-	to := e.pm.Neighbor(from, port)
+	// CSR edge metadata shared with the asynchronous engine: receiver and
+	// receiver-side port are precomputed per directed edge, so the
+	// per-message path does no PortTo binary search.
+	s := e.s
+	ei := s.EdgeStart[from] + int32(port) - 1
+	if port < 1 || ei >= s.EdgeStart[from+1] {
+		// Same contract (and message) as graph.PortMap.Neighbor.
+		panic(fmt.Sprintf("graph: node %d has no port %d (degree %d)", from, port, s.EdgeStart[from+1]-s.EdgeStart[from]))
+	}
+	to := int(s.EdgeTo[ei])
 	if err := e.acct.Send(from, port, m.Bits()); err != nil {
 		e.err = err
 		return
@@ -269,18 +297,14 @@ func (e *syncEngine) send(from, port int, m Message) {
 	if e.obs != nil {
 		e.obs.OnSend(Time(e.round), from, port, m)
 	}
-	fromID := graph.NodeID(-1)
-	if e.cfg.Model.Knowledge == KT1 {
-		fromID = e.g.ID(from)
-	}
 	e.inflight = append(e.inflight, pendingMsg{
 		seq: e.seq,
 		to:  to,
 		d: Delivery{
 			Msg:        m,
-			Port:       e.pm.PortTo(to, from),
+			Port:       int(s.RevPort[ei]),
 			SenderPort: port,
-			From:       fromID,
+			From:       s.SenderIDs[from],
 		},
 	})
 	e.seq++

@@ -40,8 +40,8 @@ func TestBucketQuantileMultiBucket(t *testing.T) {
 	bounds := []float64{1, 2, 4}
 	counts := []uint64{2, 3, 5}
 	cases := []struct{ q, want float64 }{
-		{0.2, 1},          // rank 2 lands exactly on bucket 0's upper bound
-		{0.5, 2},          // rank 5 exhausts bucket 1
+		{0.2, 1},           // rank 2 lands exactly on bucket 0's upper bound
+		{0.5, 2},           // rank 5 exhausts bucket 1
 		{0.3, 1 + 1.0/3},   // rank 3 is 1/3 into bucket 1
 		{0.9, 2 + 2*4.0/5}, // rank 9 is 4/5 into bucket 2
 	}

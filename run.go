@@ -52,12 +52,42 @@ type RunConfig struct {
 	// several with StackObservers. Runs without any observer keep the
 	// engines' allocation-free hot path.
 	Observer Observer
+	// Engine, when non-nil, supplies reusable asynchronous-engine scratch:
+	// the run resets the engine's buffers in place instead of allocating
+	// fresh ones. An Engine is not safe for concurrent use — give each
+	// sweep worker its own. Synchronous algorithms ignore it.
+	Engine *Engine
 }
 
-// Run executes the named algorithm, running its oracle first if the scheme
-// uses advice, and selecting the synchronous or asynchronous engine as the
-// algorithm requires.
-func Run(cfg RunConfig) (*Result, error) {
+// Prepared caches the seed-independent work of one configuration — the
+// resolved algorithm, its oracle's advice, and the validated harness Setup
+// with its CSR edge metadata — so a sweep can replay the configuration
+// across a whole seed matrix paying the setup cost once. Per-run inputs
+// (seed, schedule, delays, observers) still come from the RunConfig given
+// to Run.
+//
+// A Prepared is immutable after Prepare and safe for concurrent Run calls,
+// as long as each concurrent caller passes its own RunConfig.Engine (or
+// none). The underlying graph and port map must not be mutated (e.g. via
+// SwapPorts) while the Prepared is in use.
+type Prepared struct {
+	graph      *Graph
+	algorithm  string
+	options    Options
+	info       AlgorithmInfo
+	model      Model
+	ports      *PortMap
+	advice     [][]byte
+	adviceBits []int
+	setup      *sim.Setup
+}
+
+// Prepare resolves and validates the seed-independent part of cfg: the
+// algorithm lookup, the model override, the port mapping, the oracle run
+// (advice is a deterministic function of graph and ports), and the harness
+// Setup. The per-run fields of cfg (seed, schedule, delays, observers) are
+// ignored here and supplied to Prepared.Run instead.
+func Prepare(cfg RunConfig) (*Prepared, error) {
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("riseandshine: RunConfig.Graph is required")
 	}
@@ -65,19 +95,10 @@ func Run(cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	schedule := cfg.Schedule
-	if schedule == nil {
-		awake := cfg.AwakeSet
-		if len(awake) == 0 {
-			awake = []int{0}
-		}
-		schedule = WakeSet{Nodes: awake}
-	}
 	model := info.Model
 	if cfg.Model != (Model{}) {
 		model = cfg.Model
 	}
-
 	ports := cfg.Ports
 	if ports == nil {
 		ports = graph.IdentityPorts(cfg.Graph)
@@ -91,13 +112,59 @@ func Run(cfg RunConfig) (*Result, error) {
 			return nil, fmt.Errorf("riseandshine: oracle %s: %w", oracle.Name(), err)
 		}
 	}
+	setup, err := sim.NewSetup(cfg.Graph, ports, model, cfg.Seed, adviceBytes, adviceBits)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		graph:      cfg.Graph,
+		algorithm:  cfg.Algorithm,
+		options:    cfg.Options,
+		info:       info,
+		model:      model,
+		ports:      ports,
+		advice:     adviceBytes,
+		adviceBits: adviceBits,
+		setup:      setup,
+	}, nil
+}
+
+// Run executes the prepared configuration once. The identifying fields of
+// cfg (Graph, Algorithm, Options, Ports, Model) must match the Prepare
+// call; everything per-run — Seed, AwakeSet/Schedule, Delays, observers,
+// Engine — is taken from cfg as in the package-level Run.
+func (p *Prepared) Run(cfg RunConfig) (*Result, error) {
+	if cfg.Graph != p.graph {
+		return nil, fmt.Errorf("riseandshine: Prepared was built for a different graph")
+	}
+	if cfg.Algorithm != p.algorithm {
+		return nil, fmt.Errorf("riseandshine: Prepared was built for algorithm %q, config wants %q", p.algorithm, cfg.Algorithm)
+	}
+	if cfg.Options != p.options {
+		return nil, fmt.Errorf("riseandshine: Prepared was built with different Options")
+	}
+	if cfg.Ports != nil && cfg.Ports != p.ports {
+		return nil, fmt.Errorf("riseandshine: Prepared was built for a different port map")
+	}
+	if cfg.Model != (Model{}) && cfg.Model != p.model {
+		return nil, fmt.Errorf("riseandshine: Prepared was built for model %v, config wants %v", p.model, cfg.Model)
+	}
+
+	schedule := cfg.Schedule
+	if schedule == nil {
+		awake := cfg.AwakeSet
+		if len(awake) == 0 {
+			awake = []int{0}
+		}
+		schedule = WakeSet{Nodes: awake}
+	}
 
 	observer := cfg.Observer
 	if cfg.Metrics != nil {
-		observer = sim.StackObservers(metrics.NewObserver(cfg.Metrics, cfg.Graph.N()), observer)
+		observer = sim.StackObservers(metrics.NewObserver(cfg.Metrics, p.graph.N()), observer)
 	}
 
-	if info.Synchronous {
+	if p.info.Synchronous {
 		// The synchronous engine takes only the explicit observer slot, so
 		// the façade desugars Trace/RecordDigests into the stack here.
 		var trace, digests sim.Observer
@@ -108,31 +175,50 @@ func Run(cfg RunConfig) (*Result, error) {
 			digests = sim.NewDigestObserver(false)
 		}
 		return sim.RunSync(sim.SyncConfig{
-			Graph:         cfg.Graph,
-			Ports:         ports,
-			Model:         model,
+			Graph:         p.graph,
+			Ports:         p.ports,
+			Model:         p.model,
 			Schedule:      schedule,
 			Seed:          cfg.Seed,
-			Advice:        adviceBytes,
-			AdviceBits:    adviceBits,
+			Advice:        p.advice,
+			AdviceBits:    p.adviceBits,
+			Setup:         p.setup,
 			StrictCongest: cfg.StrictCongest,
 			Observer:      sim.StackObservers(trace, digests, observer),
-		}, info.newSync(cfg.Options))
+		}, p.info.newSync(cfg.Options))
 	}
-	return sim.RunAsync(sim.Config{
-		Graph: cfg.Graph,
-		Ports: ports,
-		Model: model,
+	simCfg := sim.Config{
+		Graph: p.graph,
+		Ports: p.ports,
+		Model: p.model,
 		Adversary: sim.Adversary{
 			Schedule: schedule,
 			Delays:   cfg.Delays,
 		},
 		Seed:          cfg.Seed,
-		Advice:        adviceBytes,
-		AdviceBits:    adviceBits,
+		Advice:        p.advice,
+		AdviceBits:    p.adviceBits,
+		Setup:         p.setup,
 		StrictCongest: cfg.StrictCongest,
 		Trace:         cfg.Trace,
 		RecordDigests: cfg.RecordDigests,
 		Observer:      observer,
-	}, info.newAsync(cfg.Options))
+	}
+	alg := p.info.newAsync(cfg.Options)
+	if cfg.Engine != nil {
+		return cfg.Engine.Run(simCfg, alg)
+	}
+	return sim.RunAsync(simCfg, alg)
+}
+
+// Run executes the named algorithm, running its oracle first if the scheme
+// uses advice, and selecting the synchronous or asynchronous engine as the
+// algorithm requires. Sweeps that replay one configuration across many
+// seeds should Prepare once and call Prepared.Run per seed instead.
+func Run(cfg RunConfig) (*Result, error) {
+	p, err := Prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(cfg)
 }

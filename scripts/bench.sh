@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# bench.sh — run the engine benchmarks and write a committed JSON artifact.
+#
+# Usage:
+#   scripts/bench.sh [quick|full] [output.json]
+#
+#   quick  (default) the engine-core subset (BenchmarkRunAsync*,
+#          BenchmarkEngine) at a short benchtime; what CI runs per push.
+#   full   every benchmark in the repo at the default benchtime; use for
+#          the committed BENCH_<pr>.json artifacts.
+#
+# The JSON is produced by cmd/benchjson (name, ns/op, B/op, allocs/op plus
+# custom metrics such as events/s). Set BASELINE=path.json to attach
+# baseline numbers and speedup factors from an earlier artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-quick}"
+out="${2:-bench.json}"
+
+case "$mode" in
+  quick)
+    pattern='BenchmarkRunAsync|BenchmarkEngine'
+    benchtime='1x'
+    count=1
+    ;;
+  full)
+    pattern='.'
+    benchtime='3x'
+    count=1
+    ;;
+  *)
+    echo "usage: scripts/bench.sh [quick|full] [output.json]" >&2
+    exit 2
+    ;;
+esac
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "bench.sh: running $mode benchmarks (-bench '$pattern' -benchtime $benchtime)" >&2
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count "$count" -timeout 30m . | tee "$raw" >&2
+
+baseline_args=()
+if [[ -n "${BASELINE:-}" ]]; then
+  baseline_args=(-baseline "$BASELINE")
+fi
+go run ./cmd/benchjson "${baseline_args[@]}" -o "$out" < "$raw"
+echo "bench.sh: wrote $out" >&2

@@ -13,7 +13,14 @@
 //   - rand.NewSource(time.Now()…) is flagged specifically: a wall-clock
 //     seed makes every run unique;
 //   - any other use of time.Now is flagged — simulated time is sim.Time,
-//     and wall-clock timestamps in results or logs break byte-identity.
+//     and wall-clock timestamps in results or logs break byte-identity;
+//   - sync.Pool is flagged: whether Get returns a recycled object or calls
+//     New depends on GC timing and scheduler interleaving, so pooled reuse
+//     is invisible nondeterminism even when the objects are "reset". The
+//     deterministic packages reuse scratch by resetting explicitly owned
+//     buffers in place (one engine per worker, grow-and-clear slices — see
+//     sim.AsyncEngine), which has the same allocation profile and none of
+//     the scheduling dependence.
 //
 // Test files are exempt (the driver additionally exempts examples/ and
 // all packages outside the deterministic set).
@@ -29,7 +36,7 @@ import (
 // Analyzer is the detrand pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "detrand",
-	Doc:  "forbid global math/rand and time.Now in deterministic simulator packages",
+	Doc:  "forbid global math/rand, time.Now, and sync.Pool in deterministic simulator packages",
 	Run:  run,
 }
 
@@ -93,6 +100,11 @@ func run(pass *analysis.Pass) (interface{}, error) {
 					pass.Reportf(sel.Pos(),
 						"detrand: time.Now reads the wall clock and breaks run reproducibility; simulated time is sim.Time — thread it through explicitly")
 				}
+			case syncPkg:
+				if sel.Sel.Name == "Pool" {
+					pass.Reportf(sel.Pos(),
+						"detrand: sync.Pool reuse depends on GC timing and scheduling; keep explicitly owned scratch and reset it in place (one engine per worker) instead")
+				}
 			}
 			return true
 		})
@@ -106,6 +118,7 @@ const (
 	otherPkg pkgKind = iota
 	randPkg
 	timePkg
+	syncPkg
 )
 
 // pkgOf classifies the package an identifier names, resolving through
@@ -124,6 +137,8 @@ func pkgOf(pass *analysis.Pass, x ast.Expr) pkgKind {
 		return randPkg
 	case "time":
 		return timePkg
+	case "sync":
+		return syncPkg
 	}
 	return otherPkg
 }

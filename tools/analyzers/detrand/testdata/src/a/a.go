@@ -5,6 +5,7 @@ package a
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
 	mrand "math/rand"
@@ -44,4 +45,37 @@ func decoy() int {
 // since uses the time package without touching the wall clock.
 func since(d time.Duration) time.Duration {
 	return d * 2
+}
+
+// pooled recycles scratch through sync.Pool: whether Get returns a reused
+// object or calls New depends on GC timing, so it is flagged even though
+// the objects themselves are deterministic.
+type pooled struct {
+	pool sync.Pool // want `sync.Pool reuse depends on GC timing`
+}
+
+func fromPool() []byte {
+	var p sync.Pool // want `sync.Pool reuse depends on GC timing`
+	p.New = func() any { return make([]byte, 0, 64) }
+	return p.Get().([]byte)
+}
+
+// scratch is the approved reuse pattern — explicitly owned buffers, reset
+// in place and regrown only when capacity runs out. Deterministic (the
+// same call sequence touches the same memory) and nothing is flagged.
+type scratch struct {
+	mu   sync.Mutex // other sync primitives stay allowed
+	buf  []int
+	last []float64
+}
+
+func (s *scratch) reset(n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]int, n)
+	} else {
+		s.buf = s.buf[:n]
+		for i := range s.buf {
+			s.buf[i] = 0
+		}
+	}
 }
