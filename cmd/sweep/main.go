@@ -40,7 +40,9 @@ func run() error {
 		graphT   = flag.String("graph", "connected:%d:0.01", "graph spec template with %d for n")
 		sizesStr = flag.String("sizes", "128,256,512,1024", "comma-separated network sizes")
 		schedule = flag.String("schedule", "single", "wake schedule spec")
-		delays   = flag.String("delays", "random", "delay adversary: unit | random")
+		delays   = flag.String("delays", "random", "delay adversary: unit | random | random:MIN")
+		queue    = flag.String("queue", "heap", "event queue: heap | calendar (byte-identical results)")
+		mem      = flag.Bool("mem", false, "print a per-size scratch memory table by subsystem")
 		seeds    = flag.Int("seeds", 3, "seeds per size")
 		seed     = flag.Int64("seed", 1, "master seed; run i derives its seed from (seed, i)")
 		k        = flag.Int("k", 0, "spanner parameter")
@@ -77,6 +79,11 @@ func run() error {
 		sizes = append(sizes, v)
 	}
 
+	queueKind, err := experiment.ParseQueue(*queue)
+	if err != nil {
+		return err
+	}
+
 	// One spec per (size, seed) cell, in deterministic matrix order.
 	recordMetrics := *metricsPath != "" || *httpAddr != ""
 	var specs []experiment.RunSpec
@@ -91,6 +98,8 @@ func run() error {
 				RandomPorts:   true,
 				RecordDigests: *digest,
 				Metrics:       recordMetrics,
+				Queue:         queueKind,
+				MemReport:     *mem,
 			})
 		}
 	}
@@ -194,6 +203,25 @@ func run() error {
 		}
 	}
 
+	if *mem {
+		// Seed 0's report per size: the footprint is a function of the
+		// topology and traffic, not the seed, up to hash-dependent in-flight
+		// population — one sample per size is representative.
+		memTbl := &experiment.Table{Header: []string{"n", "queue", "total", "queue-bytes", "fifo", "rng", "csr", "nodes"}}
+		for i, n := range sizes {
+			m := results[i*(*seeds)].Res.Mem
+			if m == nil {
+				continue
+			}
+			memTbl.Add(n, m.Queue, riseandshine.FormatBytes(m.TotalBytes),
+				riseandshine.FormatBytes(m.QueueBytes), riseandshine.FormatBytes(m.FIFOBytes),
+				riseandshine.FormatBytes(m.RNGBytes), riseandshine.FormatBytes(m.CSRBytes),
+				riseandshine.FormatBytes(m.NodeBytes))
+		}
+		fmt.Println()
+		fmt.Print(memTbl)
+	}
+
 	candidates := []stats.Model{
 		stats.Const, stats.LogN, stats.Log2N, stats.Linear, stats.NLogN,
 		stats.NLog2N, stats.N32, stats.N32SqrtLg, stats.NSquared,
@@ -204,6 +232,15 @@ func run() error {
 	tSlope, _ := stats.LogLogFit(timePts)
 	tBest, tSpread := stats.BestModel(timePts, candidates)
 	fmt.Printf("time:     log-log slope %.3f; best model %s (ratio spread %.2f)\n", tSlope, tBest.Name, tSpread)
+	if len(sizes) >= 4 {
+		// Sweeps spanning decades (10³–10⁶): the tail fit estimates the
+		// asymptotic exponent, the pairwise slopes show its convergence.
+		tailK := 3
+		mTail, _ := stats.TailFit(msgPts, tailK)
+		tTail, _ := stats.TailFit(timePts, tailK)
+		fmt.Printf("tail-%d:   messages slope %.3f, time slope %.3f; pairwise messages %s\n",
+			tailK, mTail, tTail, formatSlopes(stats.PairwiseSlopes(msgPts)))
+	}
 
 	fmt.Println()
 	fmt.Print(stats.Plot(stats.PlotConfig{
@@ -225,6 +262,15 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// formatSlopes renders a pairwise-slope sequence compactly.
+func formatSlopes(ss []float64) string {
+	parts := make([]string, len(ss))
+	for i, s := range ss {
+		parts[i] = strconv.FormatFloat(s, 'f', 2, 64)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
 }
 
 // metricsRecord is one line of the -metrics JSONL output. Field order is

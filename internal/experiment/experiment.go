@@ -6,6 +6,7 @@ package experiment
 import (
 	"encoding/csv"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -278,15 +279,39 @@ func ParseSchedule(spec string, seed int64) (sim.WakeScheduler, error) {
 	}
 }
 
-// ParseDelays builds a delay adversary from "unit" or "random".
+// ParseDelays builds a delay adversary from "unit", "random", or
+// "random:MIN" (delays in (MIN, 1], MIN in [0, 1)).
 func ParseDelays(spec string, seed int64) (sim.Delayer, error) {
-	switch spec {
-	case "", "unit":
+	switch {
+	case spec == "" || spec == "unit":
 		return sim.UnitDelay{}, nil
-	case "random":
+	case spec == "random":
 		return sim.RandomDelay{Seed: seed}, nil
+	case strings.HasPrefix(spec, "random:"):
+		min, err := strconv.ParseFloat(spec[len("random:"):], 64)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: delay spec %q: %w", spec, err)
+		}
+		if math.IsNaN(min) || min < 0 || min >= 1 {
+			return nil, fmt.Errorf("experiment: delay spec %q: MIN must be in [0, 1)", spec)
+		}
+		return sim.RandomDelay{Seed: seed, Min: min}, nil
 	default:
 		return nil, fmt.Errorf("experiment: unknown delay strategy %q", spec)
+	}
+}
+
+// ParseQueue selects an event-queue implementation from "heap" (or empty)
+// or "calendar". Every kind yields byte-identical Results; the choice is
+// purely a performance knob.
+func ParseQueue(spec string) (sim.QueueKind, error) {
+	switch spec {
+	case "", "heap":
+		return sim.QueueHeap, nil
+	case "calendar":
+		return sim.QueueCalendar, nil
+	default:
+		return 0, fmt.Errorf("experiment: unknown queue kind %q (want heap or calendar)", spec)
 	}
 }
 

@@ -175,6 +175,47 @@ func TestParseDelays(t *testing.T) {
 	}
 }
 
+func TestParseDelaysMin(t *testing.T) {
+	d, err := ParseDelays("random:0.5", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, ok := d.(sim.RandomDelay)
+	if !ok || rd.Min != 0.5 {
+		t.Fatalf("random:0.5 parsed to %#v", d)
+	}
+	for k := 0; k < 50; k++ {
+		if v := d.Delay(0, 1, k, 0); v <= 0.5 || v > 1 {
+			t.Fatalf("delay %v outside (0.5, 1]", v)
+		}
+	}
+	for _, spec := range []string{"random:", "random:x", "random:-0.1", "random:1", "random:1.5", "random:NaN"} {
+		if _, err := ParseDelays(spec, 1); err == nil {
+			t.Errorf("spec %q should fail", spec)
+		}
+	}
+}
+
+func TestParseQueue(t *testing.T) {
+	cases := []struct {
+		spec string
+		want sim.QueueKind
+	}{
+		{"", sim.QueueHeap},
+		{"heap", sim.QueueHeap},
+		{"calendar", sim.QueueCalendar},
+	}
+	for _, c := range cases {
+		got, err := ParseQueue(c.spec)
+		if err != nil || got != c.want {
+			t.Errorf("ParseQueue(%q) = %v, %v; want %v", c.spec, got, err, c.want)
+		}
+	}
+	if _, err := ParseQueue("fibonacci"); err == nil {
+		t.Error("unknown queue kind should fail")
+	}
+}
+
 func TestSingleScheduleTargetsNode(t *testing.T) {
 	g, _ := ParseGraph("path:10", 1)
 	s, err := ParseSchedule("single:7", 1)

@@ -43,6 +43,14 @@ type RunSpec struct {
 	// CriticalPath traces the causal DAG and publishes its report on the
 	// RunResult.
 	CriticalPath bool
+	// Queue selects the asynchronous engine's event-queue implementation
+	// (ParseQueue syntax); the zero value is the 4-ary heap. Results are
+	// byte-identical for every kind.
+	Queue sim.QueueKind
+	// MemReport populates Res.Mem with the run's per-subsystem scratch
+	// footprint. Diagnostic only — leave off when Results are compared
+	// byte-for-byte.
+	MemReport bool
 }
 
 // RunResult pairs one completed run with the seed it used and the graph it
@@ -250,6 +258,8 @@ func runOne(spec RunSpec, seed int64, cache *prepCache, eng *riseandshine.Engine
 		RecordDigests: spec.RecordDigests,
 		Observer:      sim.StackObservers(stack...),
 		Engine:        eng,
+		Queue:         spec.Queue,
+		MemReport:     spec.MemReport,
 	}
 	var res *sim.Result
 	var prep *riseandshine.Prepared

@@ -35,32 +35,43 @@ func Star(n int) *Graph {
 	return b.MustBuild()
 }
 
-// Complete returns the complete graph K_n.
+// Complete returns the complete graph K_n, materialized directly from the
+// implicit CompleteTopology: no O(n²) edge-list intermediate and no sort,
+// just the single CSR neighbor array.
 func Complete(n int) *Graph {
-	b := NewBuilder(n)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			b.AddEdge(u, v)
-		}
+	if n < 0 {
+		panic(fmt.Sprintf("graph: complete graph needs n >= 0, got %d", n))
 	}
-	return b.MustBuild()
+	return mustTopology(CompleteTopology{Nodes: n})
 }
 
 // CompleteBipartite returns K_{a,b}: nodes 0..a-1 on the left side, nodes
-// a..a+b-1 on the right side.
+// a..a+b-1 on the right side. Like Complete, it materializes straight from
+// the implicit topology.
 func CompleteBipartite(a, b int) *Graph {
-	bld := NewBuilder(a + b)
-	for u := 0; u < a; u++ {
-		for v := 0; v < b; v++ {
-			bld.AddEdge(u, a+v)
-		}
+	if a < 0 || b < 0 {
+		panic(fmt.Sprintf("graph: complete bipartite graph needs a,b >= 0, got %d,%d", a, b))
 	}
-	return bld.MustBuild()
+	return mustTopology(BipartiteTopology{Left: a, Right: b})
+}
+
+// gridNodes validates r×c dimensions for the grid-shaped generators:
+// non-negative and, before any multiplication can wrap, small enough that
+// the node count fits the int32 index space.
+func gridNodes(name string, r, c int) int {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("graph: %s needs non-negative dimensions, got %dx%d", name, r, c))
+	}
+	if c != 0 && r > maxDirected/c {
+		panic(fmt.Sprintf("graph: %s %dx%d overflows: the node count exceeds the int32 index space", name, r, c))
+	}
+	return r * c
 }
 
 // Grid returns the r×c grid graph. Node (i, j) has index i*c + j.
 func Grid(r, c int) *Graph {
-	b := NewBuilder(r * c)
+	n := gridNodes("grid", r, c)
+	b := NewBuilder(n)
 	for i := 0; i < r; i++ {
 		for j := 0; j < c; j++ {
 			v := i*c + j
@@ -75,36 +86,26 @@ func Grid(r, c int) *Graph {
 	return b.MustBuild()
 }
 
-// Torus returns the r×c torus (grid with wraparound). Requires r, c ≥ 3 so
-// the wrap edges do not duplicate grid edges.
+// Torus returns the r×c torus (grid with wraparound), materialized from the
+// implicit TorusTopology. Requires r, c ≥ 3 so the wrap edges do not
+// duplicate grid edges.
 func Torus(r, c int) *Graph {
+	gridNodes("torus", r, c)
 	if r < 3 || c < 3 {
 		panic(fmt.Sprintf("graph: torus needs r,c >= 3, got %d,%d", r, c))
 	}
-	b := NewBuilder(r * c)
-	for i := 0; i < r; i++ {
-		for j := 0; j < c; j++ {
-			v := i*c + j
-			b.AddEdge(v, i*c+(j+1)%c)
-			b.AddEdge(v, ((i+1)%r)*c+j)
-		}
-	}
-	return b.MustBuild()
+	return mustTopology(TorusTopology{Rows: r, Cols: c})
 }
 
-// Hypercube returns the d-dimensional hypercube on 2^d nodes.
+// Hypercube returns the d-dimensional hypercube on 2^d nodes, materialized
+// from the implicit HypercubeTopology. The dimension is bounded to 26: at
+// d = 27 the d·2^d directed edges already exceed the int32 index space
+// (and an unchecked 1 << d would silently wrap for d ≥ 63).
 func Hypercube(d int) *Graph {
-	n := 1 << d
-	b := NewBuilder(n)
-	for v := 0; v < n; v++ {
-		for bit := 0; bit < d; bit++ {
-			w := v ^ (1 << bit)
-			if w > v {
-				b.AddEdge(v, w)
-			}
-		}
+	if d < 0 || d > 26 {
+		panic(fmt.Sprintf("graph: hypercube dimension %d out of range [0,26] (d·2^d directed edges must fit int32 indices)", d))
 	}
-	return b.MustBuild()
+	return mustTopology(HypercubeTopology{Dim: d})
 }
 
 // Lollipop returns a clique of size k with a pendant path of length tail

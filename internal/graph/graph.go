@@ -14,7 +14,8 @@ package graph
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"math"
+	"slices"
 )
 
 // NodeID is the application-visible identifier of a node. The paper assumes
@@ -23,14 +24,30 @@ import (
 type NodeID int64
 
 // Graph is an immutable simple undirected graph. The zero value is an empty
-// graph with no nodes; use a Builder or one of the generators to construct
-// non-trivial instances.
+// graph with no nodes; use a Builder, a Topology, or one of the generators
+// to construct non-trivial instances.
+//
+// Adjacency is stored as one flat compressed-sparse-row (CSR) pair: off has
+// n+1 offsets and nbr holds all 2·M directed edges, so the neighbors of v
+// are the sorted subslice nbr[off[v]:off[v+1]]. Compared to per-node slices
+// this removes n slice headers and n separate allocations and makes the
+// graph's own tables the same shape as the engine-facing Setup CSR. Node
+// indices are int32, so a graph holds at most 2^31-1 directed edges.
+//
+// IDs default to the identity assignment id(v) = v, represented implicitly
+// (ids and idx stay nil) so million-node graphs don't carry an O(n) ID
+// table and an O(n) hash map they never use; SetIDs materializes both.
 type Graph struct {
-	adj [][]int32 // adjacency lists, sorted ascending by neighbor index
-	ids []NodeID  // ids[v] is the ID of node index v
+	off []int32 // CSR offsets, len N()+1
+	nbr []int32 // CSR neighbor indices, sorted ascending within each node
+	ids []NodeID
 	idx map[NodeID]int
 	m   int
 }
+
+// maxDirected bounds the directed-edge count (and node count) so all CSR
+// indices fit int32.
+const maxDirected = math.MaxInt32
 
 // Builder accumulates edges for a graph under construction. Duplicate edges
 // and self-loops are rejected at Build time.
@@ -55,7 +72,13 @@ func (b *Builder) Build() (*Graph, error) {
 	if b.n < 0 {
 		return nil, fmt.Errorf("graph: negative node count %d", b.n)
 	}
-	adj := make([][]int32, b.n)
+	if b.n >= maxDirected {
+		return nil, fmt.Errorf("graph: %d nodes exceed the int32 index space", b.n)
+	}
+	if len(b.edges) > maxDirected/2 {
+		return nil, fmt.Errorf("graph: %d edges need %d directed slots, exceeding the int32 index space", len(b.edges), 2*len(b.edges))
+	}
+	off := make([]int32, b.n+1)
 	for _, e := range b.edges {
 		u, v := e[0], e[1]
 		if u == v {
@@ -64,20 +87,31 @@ func (b *Builder) Build() (*Graph, error) {
 		if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
 			return nil, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
 		}
-		adj[u] = append(adj[u], v)
-		adj[v] = append(adj[v], u)
+		off[u+1]++
+		off[v+1]++
 	}
-	for v := range adj {
-		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
-		for i := 1; i < len(adj[v]); i++ {
-			if adj[v][i] == adj[v][i-1] {
-				return nil, fmt.Errorf("graph: duplicate edge {%d,%d}", v, adj[v][i])
+	for v := 0; v < b.n; v++ {
+		off[v+1] += off[v]
+	}
+	nbr := make([]int32, 2*len(b.edges))
+	cursor := make([]int32, b.n)
+	for _, e := range b.edges {
+		u, v := e[0], e[1]
+		nbr[off[u]+cursor[u]] = v
+		cursor[u]++
+		nbr[off[v]+cursor[v]] = u
+		cursor[v]++
+	}
+	for v := 0; v < b.n; v++ {
+		seg := nbr[off[v]:off[v+1]]
+		slices.Sort(seg)
+		for i := 1; i < len(seg); i++ {
+			if seg[i] == seg[i-1] {
+				return nil, fmt.Errorf("graph: duplicate edge {%d,%d}", v, seg[i])
 			}
 		}
 	}
-	g := &Graph{adj: adj, m: len(b.edges)}
-	g.assignIdentityIDs()
-	return g, nil
+	return &Graph{off: off, nbr: nbr, m: len(b.edges)}, nil
 }
 
 // MustBuild is Build, panicking on error. It is intended for generators and
@@ -90,30 +124,25 @@ func (b *Builder) MustBuild() *Graph {
 	return g
 }
 
-func (g *Graph) assignIdentityIDs() {
-	n := len(g.adj)
-	g.ids = make([]NodeID, n)
-	g.idx = make(map[NodeID]int, n)
-	for v := 0; v < n; v++ {
-		g.ids[v] = NodeID(v)
-		g.idx[NodeID(v)] = v
-	}
-}
-
 // N returns the number of nodes.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int {
+	if len(g.off) == 0 {
+		return 0
+	}
+	return len(g.off) - 1
+}
 
 // M returns the number of undirected edges.
 func (g *Graph) M() int { return g.m }
 
 // Degree returns the degree of node index v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.off[v+1] - g.off[v]) }
 
 // MaxDegree returns the maximum degree over all nodes (0 for empty graphs).
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for v := range g.adj {
-		if d := len(g.adj[v]); d > max {
+	for v := 0; v+1 < len(g.off); v++ {
+		if d := int(g.off[v+1] - g.off[v]); d > max {
 			max = d
 		}
 	}
@@ -122,21 +151,48 @@ func (g *Graph) MaxDegree() int {
 
 // Neighbors returns the sorted neighbor indices of v. The returned slice is
 // shared with the graph and must not be modified.
-func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+func (g *Graph) Neighbors(v int) []int32 { return g.nbr[g.off[v]:g.off[v+1]] }
+
+// CSR exposes the graph's offset and neighbor tables — the same
+// compressed-sparse-row layout Setup and PortMap use. Both slices are
+// shared with the graph and must not be modified.
+func (g *Graph) CSR() (off, nbr []int32) { return g.off, g.nbr }
 
 // HasEdge reports whether the undirected edge {u, v} exists.
 func (g *Graph) HasEdge(u, v int) bool {
-	a := g.adj[u]
+	a := g.Neighbors(u)
 	t := int32(v)
-	i := sort.Search(len(a), func(i int) bool { return a[i] >= t })
-	return i < len(a) && a[i] == t
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(a) && a[lo] == t
 }
 
 // ID returns the application-visible identifier of node index v.
-func (g *Graph) ID(v int) NodeID { return g.ids[v] }
+func (g *Graph) ID(v int) NodeID {
+	if g.ids == nil {
+		if v < 0 || v >= g.N() {
+			panic(fmt.Sprintf("graph: node index %d out of range [0,%d)", v, g.N()))
+		}
+		return NodeID(v)
+	}
+	return g.ids[v]
+}
 
 // IndexOf returns the node index carrying the given ID, or -1 if absent.
 func (g *Graph) IndexOf(id NodeID) int {
+	if g.idx == nil {
+		if id < 0 || id >= NodeID(g.N()) {
+			return -1
+		}
+		return int(id)
+	}
 	v, ok := g.idx[id]
 	if !ok {
 		return -1
@@ -166,8 +222,8 @@ func (g *Graph) SetIDs(ids []NodeID) error {
 // deterministic (sorted) order.
 func (g *Graph) Edges() [][2]int {
 	out := make([][2]int, 0, g.m)
-	for u := range g.adj {
-		for _, w := range g.adj[u] {
+	for u := 0; u < g.N(); u++ {
+		for _, w := range g.Neighbors(u) {
 			if int(w) > u {
 				out = append(out, [2]int{u, int(w)})
 			}
@@ -190,8 +246,10 @@ func (g *Graph) Subgraph(edges [][2]int) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := sub.SetIDs(g.ids); err != nil {
-		return nil, err
+	if g.ids != nil {
+		if err := sub.SetIDs(g.ids); err != nil {
+			return nil, err
+		}
 	}
 	return sub, nil
 }
@@ -200,13 +258,16 @@ func (g *Graph) Subgraph(edges [][2]int) (*Graph, error) {
 // assignment without affecting the original.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		adj: g.adj, // adjacency is immutable and safely shared
+		off: g.off, // CSR tables are immutable and safely shared
+		nbr: g.nbr,
 		m:   g.m,
-		ids: append([]NodeID(nil), g.ids...),
-		idx: make(map[NodeID]int, len(g.idx)),
 	}
-	for id, v := range g.idx {
-		c.idx[id] = v
+	if g.ids != nil {
+		c.ids = append([]NodeID(nil), g.ids...)
+		c.idx = make(map[NodeID]int, len(g.idx))
+		for id, v := range g.idx {
+			c.idx[id] = v
+		}
 	}
 	return c
 }

@@ -1,28 +1,60 @@
 package graph
 
+// bfsScratch is the reusable state of one breadth-first search: an int32
+// distance table and a queue, both recycled between runs. All-pairs
+// metrics (Diameter) used to allocate a fresh dist and queue per source —
+// O(n²) bytes of churn on large graphs — where one pair of arrays reset in
+// place suffices.
+type bfsScratch struct {
+	dist  []int32
+	queue []int32
+}
+
+func newBFSScratch(n int) *bfsScratch {
+	return &bfsScratch{dist: make([]int32, n), queue: make([]int32, 0, n)}
+}
+
+// run executes a BFS from the source set and returns the maximum finite
+// distance together with the number of reached nodes. Sources listed twice
+// count once. The scratch's dist table holds the distances (-1 means
+// unreachable) until the next run.
+func (s *bfsScratch) run(g *Graph, sources ...int) (max int32, reached int) {
+	for i := range s.dist {
+		s.dist[i] = -1
+	}
+	q := s.queue[:0]
+	for _, src := range sources {
+		if s.dist[src] == -1 {
+			s.dist[src] = 0
+			q = append(q, int32(src))
+		}
+	}
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		dv := s.dist[v]
+		if dv > max {
+			max = dv
+		}
+		for _, w := range g.Neighbors(int(v)) {
+			if s.dist[w] == -1 {
+				s.dist[w] = dv + 1
+				q = append(q, w)
+			}
+		}
+	}
+	s.queue = q
+	return max, len(q)
+}
+
 // BFSFrom returns the hop distances from the source set. Unreachable nodes
 // get distance -1. The source set may be empty, in which case all distances
 // are -1.
 func (g *Graph) BFSFrom(sources []int) []int {
+	s := newBFSScratch(g.N())
+	s.run(g, sources...)
 	dist := make([]int, g.N())
-	for i := range dist {
-		dist[i] = -1
-	}
-	queue := make([]int, 0, g.N())
-	for _, s := range sources {
-		if dist[s] == -1 {
-			dist[s] = 0
-			queue = append(queue, s)
-		}
-	}
-	for head := 0; head < len(queue); head++ {
-		v := queue[head]
-		for _, w := range g.adj[v] {
-			if dist[w] == -1 {
-				dist[w] = dist[v] + 1
-				queue = append(queue, int(w))
-			}
-		}
+	for i, d := range s.dist {
+		dist[i] = int(d)
 	}
 	return dist
 }
@@ -45,7 +77,7 @@ func (g *Graph) BFSTree(root int) (parent, dist []int) {
 	queue = append(queue, root)
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			if dist[w] == -1 {
 				dist[w] = dist[v] + 1
 				parent[w] = v
@@ -59,28 +91,32 @@ func (g *Graph) BFSTree(root int) (parent, dist []int) {
 // Eccentricity returns the maximum hop distance from v to any node, or -1
 // if some node is unreachable from v.
 func (g *Graph) Eccentricity(v int) int {
-	dist := g.BFSFrom([]int{v})
-	ecc := 0
-	for _, d := range dist {
-		if d == -1 {
-			return -1
-		}
-		if d > ecc {
-			ecc = d
-		}
+	s := newBFSScratch(g.N())
+	return eccentricity(g, s, v)
+}
+
+func eccentricity(g *Graph, s *bfsScratch, v int) int {
+	max, reached := s.run(g, v)
+	if reached != g.N() {
+		return -1
 	}
-	return ecc
+	return int(max)
 }
 
 // Diameter returns the exact diameter by running a BFS from every node.
-// It returns ErrDisconnected for disconnected graphs. O(n·m) time.
+// It returns ErrDisconnected for disconnected graphs. O(n·m) time; the BFS
+// scratch is allocated once and reused across all n sources, so the
+// constant allocation count is independent of n (pinned by
+// BenchmarkDiameter).
 func (g *Graph) Diameter() (int, error) {
-	if g.N() == 0 {
+	n := g.N()
+	if n == 0 {
 		return 0, nil
 	}
+	s := newBFSScratch(n)
 	diam := 0
-	for v := 0; v < g.N(); v++ {
-		ecc := g.Eccentricity(v)
+	for v := 0; v < n; v++ {
+		ecc := eccentricity(g, s, v)
 		if ecc == -1 {
 			return 0, ErrDisconnected
 		}
@@ -98,17 +134,12 @@ func (g *Graph) AwakeDistance(awake []int) int {
 	if len(awake) == 0 {
 		return -1
 	}
-	dist := g.BFSFrom(awake)
-	rho := 0
-	for _, d := range dist {
-		if d == -1 {
-			return -1
-		}
-		if d > rho {
-			rho = d
-		}
+	s := newBFSScratch(g.N())
+	max, reached := s.run(g, awake...)
+	if reached != g.N() {
+		return -1
 	}
-	return rho
+	return int(max)
 }
 
 // Components returns the connected components as slices of node indices,
@@ -124,7 +155,7 @@ func (g *Graph) Components() [][]int {
 		seen[s] = true
 		for head := 0; head < len(comp); head++ {
 			v := comp[head]
-			for _, w := range g.adj[v] {
+			for _, w := range g.Neighbors(v) {
 				if !seen[w] {
 					seen[w] = true
 					comp = append(comp, int(w))
@@ -144,13 +175,9 @@ func (g *Graph) Connected() bool {
 	if g.N() <= 1 {
 		return true
 	}
-	dist := g.BFSFrom([]int{0})
-	for _, d := range dist {
-		if d == -1 {
-			return false
-		}
-	}
-	return true
+	s := newBFSScratch(g.N())
+	_, reached := s.run(g, 0)
+	return reached == g.N()
 }
 
 // Girth returns the length of a shortest cycle, or -1 if the graph is
@@ -175,7 +202,7 @@ func (g *Graph) Girth() int {
 			if best != -1 && dist[v] >= (best+1)/2 {
 				break // no shorter cycle through s can be found deeper
 			}
-			for _, w := range g.adj[v] {
+			for _, w := range g.Neighbors(int(v)) {
 				if dist[w] == -1 {
 					dist[w] = dist[v] + 1
 					par[w] = v

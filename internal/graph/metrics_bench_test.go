@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDiameterAllocs pins the scratch-reuse property of the BFS core: a
+// Diameter call allocates one scratch (a small constant number of
+// allocations) regardless of graph size, instead of a queue and distance
+// slice per root as the old per-call BFS did.
+func TestDiameterAllocs(t *testing.T) {
+	small := Torus(6, 6)
+	big := Torus(20, 20)
+	allocs := func(g *Graph) float64 {
+		return testing.AllocsPerRun(3, func() { g.Diameter() })
+	}
+	a, b := allocs(small), allocs(big)
+	if a != b {
+		t.Errorf("Diameter allocations scale with n: %.0f at n=%d, %.0f at n=%d (want equal)", a, small.N(), b, big.N())
+	}
+	if b > 4 {
+		t.Errorf("Diameter allocates %.0f times per call, want the shared scratch only", b)
+	}
+}
+
+func benchGraph(b *testing.B) *Graph {
+	b.Helper()
+	return RandomConnected(2000, 0.002, rand.New(rand.NewSource(7)))
+}
+
+func BenchmarkDiameter(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Diameter()
+	}
+}
+
+func BenchmarkEccentricity(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Eccentricity(0)
+	}
+}
+
+func BenchmarkBuildComplete(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Complete(512)
+	}
+}
+
+func BenchmarkBuildTorusImplicit(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Torus(64, 64)
+	}
+}

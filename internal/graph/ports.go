@@ -9,26 +9,33 @@ import (
 // ports 1..deg(v), and port_v is a bijection from port numbers to
 // neighbors. The adversary controls the mapping; nodes have no a-priori
 // knowledge of it. Ports here are 1-based to match the paper.
+//
+// The tables are flat CSR arrays indexed through the graph's offset table:
+// the port-p out-edge of node v lives at flat index start[v]+p-1. Compared
+// to per-node slices this removes 2n slice headers and allocations, which
+// matters at the million-node scale the engine targets.
 type PortMap struct {
 	g     *Graph
-	ports [][]int32 // ports[v][p-1] = neighbor index reached via port p
-	inv   [][]int32 // inv[v][i] = port at v leading to g.adj[v][i]
+	start []int32 // CSR offsets; aliases the graph's table, never mutated
+	ports []int32 // ports[start[v]+p-1] = neighbor index reached via port p
+	inv   []int32 // inv[start[v]+i] = port at v leading to Neighbors(v)[i]
 }
 
 // IdentityPorts returns the port map where port p at v leads to the p-th
 // smallest neighbor of v.
 func IdentityPorts(g *Graph) *PortMap {
-	pm := &PortMap{g: g}
-	pm.ports = make([][]int32, g.N())
-	pm.inv = make([][]int32, g.N())
+	off, nbr := g.CSR()
+	pm := &PortMap{
+		g:     g,
+		start: off,
+		ports: append([]int32(nil), nbr...),
+		inv:   make([]int32, len(nbr)),
+	}
 	for v := 0; v < g.N(); v++ {
-		adj := g.Neighbors(v)
-		pm.ports[v] = append([]int32(nil), adj...)
-		inv := make([]int32, len(adj))
-		for i := range adj {
-			inv[i] = int32(i + 1)
+		seg := pm.inv[off[v]:off[v+1]]
+		for i := range seg {
+			seg[i] = int32(i + 1)
 		}
-		pm.inv[v] = inv
 	}
 	return pm
 }
@@ -39,9 +46,9 @@ func IdentityPorts(g *Graph) *PortMap {
 func RandomPorts(g *Graph, rng *rand.Rand) *PortMap {
 	pm := IdentityPorts(g)
 	for v := 0; v < g.N(); v++ {
-		d := len(pm.ports[v])
-		rng.Shuffle(d, func(i, j int) {
-			pm.ports[v][i], pm.ports[v][j] = pm.ports[v][j], pm.ports[v][i]
+		seg := pm.ports[pm.start[v]:pm.start[v+1]]
+		rng.Shuffle(len(seg), func(i, j int) {
+			seg[i], seg[j] = seg[j], seg[i]
 		})
 		pm.rebuildInverse(v)
 	}
@@ -50,26 +57,34 @@ func RandomPorts(g *Graph, rng *rand.Rand) *PortMap {
 
 func (pm *PortMap) rebuildInverse(v int) {
 	adj := pm.g.Neighbors(v)
-	pos := make(map[int32]int32, len(adj))
-	for i, w := range adj {
-		pos[w] = int32(i)
+	base := pm.start[v]
+	inv := pm.inv[base : base+int32(len(adj))]
+	for p0, w := range pm.ports[base : base+int32(len(adj))] {
+		// Position of neighbor w in the sorted adjacency segment.
+		lo, hi := 0, len(adj)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if adj[mid] < w {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		inv[lo] = int32(p0 + 1)
 	}
-	inv := make([]int32, len(adj))
-	for p, w := range pm.ports[v] {
-		inv[pos[w]] = int32(p + 1)
-	}
-	pm.inv[v] = inv
 }
 
 // Graph returns the underlying graph.
 func (pm *PortMap) Graph() *Graph { return pm.g }
 
+func (pm *PortMap) degree(v int) int { return int(pm.start[v+1] - pm.start[v]) }
+
 // Neighbor returns the node index reached from v via port p (1-based).
 func (pm *PortMap) Neighbor(v, p int) int {
-	if p < 1 || p > len(pm.ports[v]) {
-		panic(fmt.Sprintf("graph: node %d has no port %d (degree %d)", v, p, len(pm.ports[v])))
+	if p < 1 || p > pm.degree(v) {
+		panic(fmt.Sprintf("graph: node %d has no port %d (degree %d)", v, p, pm.degree(v)))
 	}
-	return int(pm.ports[v][p-1])
+	return int(pm.ports[pm.start[v]+int32(p)-1])
 }
 
 // PortTo returns port_v^{-1}(u): the port at v whose edge leads to neighbor
@@ -89,7 +104,7 @@ func (pm *PortMap) PortTo(v, u int) int {
 	if lo >= len(adj) || adj[lo] != t {
 		panic(fmt.Sprintf("graph: %d is not a neighbor of %d", u, v))
 	}
-	return int(pm.inv[v][lo])
+	return int(pm.inv[pm.start[v]+int32(lo)])
 }
 
 // CSR exports the port mapping as flat compressed-sparse-row arrays over
@@ -99,31 +114,30 @@ func (pm *PortMap) PortTo(v, u int) int {
 // at the neighbor whose edge leads back to v — i.e. PortTo(to[ei], v) —
 // precomputed so per-message paths never binary-search the adjacency list.
 //
-// The arrays are a snapshot: SwapPorts invalidates them, so callers that
+// start is the graph's own immutable offset table (shared, do not modify);
+// to and rev are snapshots, so SwapPorts invalidates them and callers that
 // mutate the mapping must re-export.
 func (pm *PortMap) CSR() (start, to, rev []int32) {
 	n := pm.g.N()
-	start = make([]int32, n+1)
-	for v := 0; v < n; v++ {
-		start[v+1] = start[v] + int32(len(pm.ports[v]))
+	start = pm.start
+	if start == nil {
+		start = make([]int32, 1) // zero-value Graph: one all-zero offset
 	}
-	to = make([]int32, start[n])
-	rev = make([]int32, start[n])
-	for v := 0; v < n; v++ {
-		copy(to[start[v]:start[v+1]], pm.ports[v])
-	}
+	to = append([]int32(nil), pm.ports...)
+	rev = make([]int32, len(pm.ports))
 	// Fill rev in O(m): scanning nodes in ascending order, the neighbors u
-	// of any fixed node w are visited in ascending u as well, and adj[w] is
-	// sorted — so u's position in adj[w] is just how many of w's neighbors
-	// have been visited so far.
+	// of any fixed node w are visited in ascending u as well, and the
+	// adjacency segments are sorted — so u's position in w's segment is just
+	// how many of w's neighbors have been visited so far.
 	seen := make([]int32, n)
 	for u := 0; u < n; u++ {
-		for i, w := range pm.g.adj[u] {
+		base := pm.start[u]
+		for i, w := range pm.g.Neighbors(u) {
 			j := seen[w]
 			seen[w]++
-			// directed edge u→w via port inv[u][i]; its reverse port is the
-			// port at w leading to adj[w][j] = u.
-			rev[start[u]+pm.inv[u][i]-1] = pm.inv[w][j]
+			// directed edge u→w via port inv[base+i]; its reverse port is
+			// the port at w leading to the j-th neighbor of w, which is u.
+			rev[base+pm.inv[base+int32(i)]-1] = pm.inv[pm.start[w]+j]
 		}
 	}
 	return start, to, rev
@@ -133,20 +147,24 @@ func (pm *PortMap) CSR() (start, to, rev []int32) {
 // Lower-bound experiments use this to construct indistinguishable
 // configurations.
 func (pm *PortMap) SwapPorts(v, p1, p2 int) {
-	pm.ports[v][p1-1], pm.ports[v][p2-1] = pm.ports[v][p2-1], pm.ports[v][p1-1]
+	base := pm.start[v]
+	pm.ports[base+int32(p1)-1], pm.ports[base+int32(p2)-1] = pm.ports[base+int32(p2)-1], pm.ports[base+int32(p1)-1]
 	pm.rebuildInverse(v)
 }
 
 // Validate checks that every node's port assignment is a bijection onto its
 // neighbor set and that the inverse table is consistent.
 func (pm *PortMap) Validate() error {
+	if n := pm.g.N(); n > 0 && (int(pm.start[n]) != len(pm.ports) || len(pm.ports) != len(pm.inv)) {
+		return fmt.Errorf("graph: port tables have %d/%d entries for %d directed edges", len(pm.ports), len(pm.inv), pm.start[n])
+	}
 	for v := 0; v < pm.g.N(); v++ {
 		adj := pm.g.Neighbors(v)
-		if len(pm.ports[v]) != len(adj) {
-			return fmt.Errorf("graph: node %d has %d ports for degree %d", v, len(pm.ports[v]), len(adj))
+		if pm.degree(v) != len(adj) {
+			return fmt.Errorf("graph: node %d has %d ports for degree %d", v, pm.degree(v), len(adj))
 		}
 		seen := make(map[int32]bool, len(adj))
-		for p0, w := range pm.ports[v] {
+		for p0, w := range pm.ports[pm.start[v]:pm.start[v+1]] {
 			if !pm.g.HasEdge(v, int(w)) {
 				return fmt.Errorf("graph: node %d port %d leads to non-neighbor %d", v, p0+1, w)
 			}
@@ -156,7 +174,7 @@ func (pm *PortMap) Validate() error {
 			seen[w] = true
 		}
 		for i, w := range adj {
-			p := int(pm.inv[v][i])
+			p := int(pm.inv[pm.start[v]+int32(i)])
 			if pm.Neighbor(v, p) != int(w) {
 				return fmt.Errorf("graph: node %d inverse port table inconsistent at neighbor %d", v, w)
 			}

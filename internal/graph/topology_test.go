@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildReference materializes the same family through the Builder path the
+// implicit generators replaced, as an independent witness.
+func buildReference(n int, edges [][2]int) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.MustBuild()
+}
+
+func sameGraph(t *testing.T, name string, got, want *Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("%s: got n=%d m=%d, want n=%d m=%d", name, got.N(), got.M(), want.N(), want.M())
+	}
+	for v := 0; v < got.N(); v++ {
+		g, w := got.Neighbors(v), want.Neighbors(v)
+		if len(g) != len(w) {
+			t.Fatalf("%s: node %d degree %d, want %d", name, v, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("%s: node %d neighbors %v, want %v", name, v, g, w)
+			}
+		}
+	}
+}
+
+// TestImplicitFamiliesMatchBuilder pins each implicit family to an
+// explicitly enumerated Builder-built reference.
+func TestImplicitFamiliesMatchBuilder(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 16} {
+		var edges [][2]int
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+		sameGraph(t, "complete", Complete(n), buildReference(n, edges))
+	}
+	for _, dims := range [][2]int{{0, 0}, {0, 5}, {1, 1}, {3, 4}, {5, 2}} {
+		a, b := dims[0], dims[1]
+		var edges [][2]int
+		for u := 0; u < a; u++ {
+			for v := 0; v < b; v++ {
+				edges = append(edges, [2]int{u, a + v})
+			}
+		}
+		sameGraph(t, "bipartite", CompleteBipartite(a, b), buildReference(a+b, edges))
+	}
+	for _, d := range []int{0, 1, 2, 3, 5, 8} {
+		n := 1 << d
+		var edges [][2]int
+		for v := 0; v < n; v++ {
+			for b := 0; b < d; b++ {
+				if w := v ^ (1 << b); v < w {
+					edges = append(edges, [2]int{v, w})
+				}
+			}
+		}
+		sameGraph(t, "hypercube", Hypercube(d), buildReference(n, edges))
+	}
+	for _, dims := range [][2]int{{3, 3}, {3, 5}, {4, 4}, {6, 3}} {
+		r, c := dims[0], dims[1]
+		var edges [][2]int
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				v := i*c + j
+				edges = append(edges, [2]int{v, ((i+1)%r)*c + j})
+				edges = append(edges, [2]int{v, i*c + (j+1)%c})
+			}
+		}
+		sameGraph(t, "torus", Torus(r, c), buildReference(r*c, edges))
+	}
+}
+
+func mustPanic(t *testing.T, name, wantSub string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("%s: expected panic", name)
+			return
+		}
+		msg := ""
+		switch v := r.(type) {
+		case string:
+			msg = v
+		case error:
+			msg = v.Error()
+		}
+		if !strings.Contains(msg, wantSub) {
+			t.Errorf("%s: panic %q does not mention %q", name, msg, wantSub)
+		}
+	}()
+	f()
+}
+
+// TestGeneratorGuards pins the overflow and range guards on the generators
+// whose old parameter arithmetic could silently wrap.
+func TestGeneratorGuards(t *testing.T) {
+	mustPanic(t, "hypercube 27", "out of range", func() { Hypercube(27) })
+	mustPanic(t, "hypercube -1", "out of range", func() { Hypercube(-1) })
+	mustPanic(t, "hypercube 64", "out of range", func() { Hypercube(64) })
+	mustPanic(t, "grid overflow", "overflows", func() { Grid(1<<20, 1<<20) })
+	mustPanic(t, "grid negative", "non-negative", func() { Grid(-1, 5) })
+	mustPanic(t, "torus overflow", "overflows", func() { Torus(1<<17, 1<<17) })
+	mustPanic(t, "torus small", "r,c >= 3", func() { Torus(2, 5) })
+	mustPanic(t, "complete negative", "n >= 0", func() { Complete(-1) })
+	mustPanic(t, "bipartite negative", "a,b >= 0", func() { CompleteBipartite(3, -1) })
+}
+
+// brokenTopology wraps a valid topology with one corrupted answer, to
+// exercise FromTopology's validation.
+type brokenTopology struct {
+	Topology
+	neighbor func(v, i int) int
+}
+
+func (b brokenTopology) Neighbor(v, i int) int { return b.neighbor(v, i) }
+
+func TestFromTopologyValidation(t *testing.T) {
+	base := CompleteTopology{Nodes: 4}
+	cases := []struct {
+		name    string
+		t       Topology
+		wantSub string
+	}{
+		{"out of range", brokenTopology{base, func(v, i int) int {
+			if v == 2 && i == 0 {
+				return 9
+			}
+			return base.Neighbor(v, i)
+		}}, "out of range"},
+		{"self loop", brokenTopology{base, func(v, i int) int {
+			if v == 1 && i == 1 {
+				return 1
+			}
+			return base.Neighbor(v, i)
+		}}, "self-loop"},
+		{"not ascending", brokenTopology{base, func(v, i int) int {
+			// Node 0's neighbors become 3,2,1.
+			if v == 0 {
+				return 3 - i
+			}
+			return base.Neighbor(v, i)
+		}}, "not strictly ascending"},
+		{"asymmetric", asymTopology{}, "no reverse"},
+		{"negative n", CompleteTopology{Nodes: -2}, "negative node count"},
+		{"odd degree sum", oddTopology{}, "odd"},
+		{"edge overflow", BipartiteTopology{Left: 1 << 16, Right: 1 << 16}, "exceeding the int32 index space"},
+	}
+	for _, c := range cases {
+		if _, err := FromTopology(c.t); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		} else if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+// asymTopology claims 0→1 without the reverse edge, but keeps per-node
+// lists locally valid and the degree sum even.
+type asymTopology struct{}
+
+func (asymTopology) N() int           { return 4 }
+func (asymTopology) Degree(v int) int { return 1 }
+func (asymTopology) Neighbor(v, _ int) int {
+	switch v {
+	case 0:
+		return 1
+	case 1:
+		return 2
+	case 2:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// oddTopology reports an odd degree sum.
+type oddTopology struct{}
+
+func (oddTopology) N() int { return 3 }
+func (oddTopology) Degree(v int) int {
+	if v == 0 {
+		return 1
+	}
+	return 0
+}
+func (oddTopology) Neighbor(int, int) int { return 1 }
+
+// TestImplicitFamiliesValid runs the implicit families through the full
+// FromTopology validator (the generators use mustTopology, so any emitted
+// asymmetry or ordering bug fails here first).
+func TestImplicitFamiliesValid(t *testing.T) {
+	for _, tp := range []Topology{
+		CompleteTopology{Nodes: 9},
+		BipartiteTopology{Left: 4, Right: 6},
+		HypercubeTopology{Dim: 6},
+		TorusTopology{Rows: 5, Cols: 7},
+	} {
+		if _, err := FromTopology(tp); err != nil {
+			t.Errorf("%T: %v", tp, err)
+		}
+	}
+}

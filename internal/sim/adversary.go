@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"riseandshine/internal/graph"
@@ -195,17 +196,46 @@ type UnitDelay struct{}
 func (UnitDelay) Delay(int, int, int, Time) float64 { return 1 }
 
 // RandomDelay assigns each message an independent deterministic
-// pseudo-random delay in (Min, 1], keyed by (edge, message index).
+// pseudo-random delay, keyed by (edge, message index). The result is
+// guaranteed to lie in (Min, 1] — strictly above Min and never above the
+// maximum delay τ = 1 — as the engine's delay contract requires.
 type RandomDelay struct {
 	Seed int64
-	// Min is the lower bound of the delay range; defaults to 0 (exclusive).
+	// Min is the exclusive lower bound of the delay range; defaults to 0.
+	// Values outside [0, 1) are clamped: negative (or NaN) to 0, and ≥ 1
+	// to the largest float64 below 1 (delays then all round to ≈ 1, the
+	// UnitDelay limit).
 	Min float64
 }
 
 // Delay implements Delayer.
 func (d RandomDelay) Delay(from, to, k int, _ Time) float64 {
-	u := hashUnit(d.Seed, from, to, k)
-	return d.Min + u*(1-d.Min)
+	return delayInterval(d.Min, hashUnit(d.Seed, from, to, k))
+}
+
+// delayInterval maps a uniform u in (0, 1] into (min, 1], clamping min
+// into [0, 1) first. The naive min + u·(1-min) violates the exclusive
+// lower bound in floating point: for u near 2^-53 the step u·(1-min) can
+// round away entirely (min = 0.5 gives 0.5 + 2^-54 → 0.5), yielding
+// exactly min — with min = 0 that is a zero delay, which the engine
+// rejects. Collapsed values are bumped to the next float64 above min; for
+// min = 0 the arithmetic is exact (0 + u·1 = u), so default-range streams
+// are bit-identical to the pre-guard implementation.
+func delayInterval(min, u float64) float64 {
+	switch {
+	case !(min > 0): // negative, zero, or NaN
+		min = 0
+	case min >= 1:
+		min = math.Nextafter(1, 0)
+	}
+	d := min + u*(1-min)
+	if d <= min {
+		d = math.Nextafter(min, 2)
+	}
+	if d > 1 {
+		d = 1
+	}
+	return d
 }
 
 // BiasedDelay slows down a designated set of directed edges to the maximum

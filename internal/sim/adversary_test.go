@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -113,6 +114,75 @@ func TestRandomDelayMin(t *testing.T) {
 		v := d.Delay(3, 4, k, 0)
 		if v <= 0.9 || v > 1 {
 			t.Fatalf("delay %v outside (0.9, 1]", v)
+		}
+	}
+}
+
+// TestDelayIntervalBoundaries pins the floating-point corner the old
+// implementation got wrong: min + u·(1-min) can round to exactly min for
+// tiny u, breaking the exclusive lower bound. It also checks the Min
+// clamping contract for out-of-range values.
+func TestDelayIntervalBoundaries(t *testing.T) {
+	ulp := math.Nextafter(1, 2) - 1 // 2^-52
+	cases := []struct {
+		name   string
+		min, u float64
+	}{
+		// 0.5 + 2^-53·0.5 rounds to exactly 0.5 under the naive formula.
+		{"rounding collapse", 0.5, ulp / 2},
+		{"collapse near 1", 0.875, ulp / 4},
+		{"smallest u", 0, 0x1p-53},
+		{"u at top", 0.25, 1},
+		{"negative min clamps to 0", -0.5, 0x1p-53},
+		{"min 1 clamps below 1", 1, 0x1p-53},
+		{"min above 1 clamps below 1", 1.5, 0.5},
+		{"NaN min clamps to 0", math.NaN(), 0.5},
+	}
+	for _, c := range cases {
+		got := delayInterval(c.min, c.u)
+		lo := c.min
+		switch {
+		case !(lo > 0):
+			lo = 0
+		case lo >= 1:
+			lo = math.Nextafter(1, 0)
+		}
+		if !(got > lo) || !(got <= 1) {
+			t.Errorf("%s: delayInterval(%v, %v) = %v, want in (%v, 1]", c.name, c.min, c.u, got, lo)
+		}
+	}
+}
+
+// TestDelayIntervalDefaultUnchanged pins bit-identity of the Min = 0 path
+// with the pre-guard implementation (plain u): every recorded digest and
+// differential baseline depends on the default RandomDelay stream not
+// shifting.
+func TestDelayIntervalDefaultUnchanged(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42} {
+		d := RandomDelay{Seed: seed}
+		for k := 0; k < 50; k++ {
+			want := hashUnit(seed, 3, 4, k)
+			if got := d.Delay(3, 4, k, 0); got != want {
+				t.Fatalf("seed %d k %d: default delay %v != hashUnit %v", seed, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRandomDelayMinSweep checks the (Min, 1] guarantee across a grid of
+// Min values, edges, and message indices — including Min values where the
+// interval (Min, 1] is only a few ULPs wide.
+func TestRandomDelayMinSweep(t *testing.T) {
+	mins := []float64{0, 0.1, 0.5, 0.9, 0.999999, 1 - 0x1p-50, math.Nextafter(1, 0)}
+	for _, min := range mins {
+		d := RandomDelay{Seed: 9, Min: min}
+		for from := 0; from < 4; from++ {
+			for k := 0; k < 25; k++ {
+				v := d.Delay(from, from+1, k, 0)
+				if !(v > min) || !(v <= 1) {
+					t.Fatalf("Min=%v from=%d k=%d: delay %v outside (Min, 1]", min, from, k, v)
+				}
+			}
 		}
 	}
 }

@@ -48,6 +48,14 @@ type Config struct {
 	// StrictCongest makes the run fail if any message exceeds the CONGEST
 	// bit limit; otherwise violations are only counted.
 	StrictCongest bool
+	// Queue selects the event-queue implementation; the zero value is the
+	// 4-ary heap. The choice never changes a Result — both queues pop the
+	// identical (at, seq) order — only the cost profile (see QueueKind).
+	Queue QueueKind
+	// MemReport publishes the run's peak scratch footprint by subsystem
+	// into Result.Mem. Off by default so Results stay comparable across
+	// queue implementations and engine reuse.
+	MemReport bool
 	// Trace installs a TraceObserver writing one CSV line per engine event
 	// (wake or delivery) to the writer; see the tracer documentation in
 	// trace.go. Shorthand for stacking NewTraceObserver(w) onto Observer.
@@ -101,7 +109,9 @@ type AsyncEngine struct {
 	// flat index EdgeStart[v]+p-1. Ports are per-node bijections fixed for
 	// the run, so (node, port) identifies a directed edge without any map
 	// lookup.
-	queue    eventHeap
+	queue    eventQueue // points at heap or cal, per Config.Queue
+	heap     eventHeap
+	cal      calendarQueue
 	awake    []bool
 	machines []Program
 	rands    []*rand.Rand
@@ -203,9 +213,18 @@ func (e *AsyncEngine) Run(cfg Config, alg Algorithm) (*Result, error) {
 	e.err = nil
 	e.reset(g.N(), int(s.EdgeStart[g.N()]))
 
-	// Pre-size the event heap: enough for the schedule plus a generous
+	switch cfg.Queue {
+	case QueueHeap:
+		e.queue = &e.heap
+	case QueueCalendar:
+		e.queue = &e.cal
+	default:
+		return nil, fmt.Errorf("sim: unknown queue kind %v", cfg.Queue)
+	}
+
+	// Pre-size the event queue: enough for the schedule plus a generous
 	// in-flight message buffer, capped so dense graphs don't over-allocate
-	// (the heap still grows on demand).
+	// (the queue still grows on demand).
 	capacity := g.N() + 2*g.M()
 	if capacity > 1<<16 {
 		capacity = 1 << 16
@@ -245,6 +264,9 @@ func (e *AsyncEngine) Run(cfg Config, alg Algorithm) (*Result, error) {
 	}
 
 	e.acct.Finish(e.now)
+	if cfg.MemReport {
+		res.Mem = e.memReport(cfg.Queue)
+	}
 	if e.obs != nil {
 		if err := e.obs.OnFinish(res); err != nil {
 			return res, fmt.Errorf("sim: %w", err)

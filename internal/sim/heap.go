@@ -31,6 +31,9 @@ func eventLess(x, y *event) bool {
 
 func (h *eventHeap) len() int { return len(h.a) }
 
+// memBytes implements eventQueue: the heap's backing array.
+func (h *eventHeap) memBytes() int64 { return int64(cap(h.a)) * eventBytes }
+
 // reset empties the heap, keeping the backing array for reuse; capacity is
 // grown to at least the given hint so a warmed heap never reallocates.
 func (h *eventHeap) reset(capacity int) {

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"unsafe"
+)
+
+// Sizes of the scratch building blocks, taken from the compiler so the
+// report tracks the real structs. The memory report is bookkeeping over
+// slice capacities — it never calls the runtime allocator profiler, so
+// enabling it cannot perturb a run.
+var (
+	eventBytes       = int64(unsafe.Sizeof(event{}))
+	sliceHeaderBytes = int64(unsafe.Sizeof([]event(nil)))
+	ctxBytes         = int64(unsafe.Sizeof(asyncCtx{}))
+	programBytes     = int64(unsafe.Sizeof(Program(nil)))
+	// rngStateBytes approximates one node generator: the rand.Rand wrapper
+	// plus the 607-word additive-lagged-Fibonacci source it owns.
+	rngStateBytes = func() int64 {
+		var r rand.Rand
+		return int64(unsafe.Sizeof(r)) + 607*8 + 16
+	}()
+)
+
+// MemReport is the peak scratch footprint of one asynchronous run, by
+// subsystem, in bytes. All figures are capacities of the engine's backing
+// arrays at the end of the run; backing arrays only grow during a run, so
+// end-of-run capacity is the peak. With a reused AsyncEngine the scratch
+// carries over, so the report describes the engine's high-water mark, which
+// is what capacity planning needs.
+//
+// The report answers the practical 10⁶-node question — "what does one more
+// node or edge cost?": Queue and Nodes scale with n (and the in-flight
+// event population), FIFO and CSR with the directed edge count 2m, RNG with
+// the number of nodes that ever woke (~5 KiB each — by far the largest
+// per-node term, see DESIGN.md).
+type MemReport struct {
+	// Queue names the event-queue implementation ("heap" or "calendar").
+	Queue string
+	// QueueBytes is the event queue's backing storage: the heap array, or
+	// the calendar's buckets, bitmap, and overflow heap.
+	QueueBytes int64
+	// FIFOBytes covers the per-directed-edge FIFO clamp and message
+	// sequence arrays.
+	FIFOBytes int64
+	// RNGBytes covers the per-node random generators (allocated lazily on
+	// first wake, retained across runs of a reused engine).
+	RNGBytes int64
+	// CSRBytes covers the Setup's edge metadata: EdgeStart, EdgeTo,
+	// RevPort, and SenderIDs.
+	CSRBytes int64
+	// NodeBytes covers the remaining per-node tables: awake flags, machine
+	// slots, context table, and RNG pointers.
+	NodeBytes int64
+	// TotalBytes is the sum of the subsystem figures.
+	TotalBytes int64
+}
+
+// String renders a compact single-line summary.
+func (m *MemReport) String() string {
+	return fmt.Sprintf("mem[%s]: total=%s queue=%s fifo=%s rng=%s csr=%s nodes=%s",
+		m.Queue, FormatBytes(m.TotalBytes), FormatBytes(m.QueueBytes), FormatBytes(m.FIFOBytes),
+		FormatBytes(m.RNGBytes), FormatBytes(m.CSRBytes), FormatBytes(m.NodeBytes))
+}
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// memReport assembles the per-subsystem scratch accounting at the end of a
+// run.
+func (e *AsyncEngine) memReport(kind QueueKind) *MemReport {
+	rngs := 0
+	for _, r := range e.rands {
+		if r != nil {
+			rngs++
+		}
+	}
+	s := e.s
+	m := &MemReport{
+		Queue:      kind.String(),
+		QueueBytes: e.queue.memBytes(),
+		FIFOBytes:  int64(cap(e.fifoLast))*8 + int64(cap(e.edgeSeq))*4,
+		RNGBytes:   int64(rngs) * rngStateBytes,
+		CSRBytes: int64(len(s.EdgeStart))*4 + int64(len(s.EdgeTo))*4 +
+			int64(len(s.RevPort))*4 + int64(len(s.SenderIDs))*8,
+		NodeBytes: int64(cap(e.awake)) + int64(cap(e.machines))*programBytes +
+			int64(cap(e.ctxs))*ctxBytes + int64(cap(e.rands))*8,
+	}
+	m.TotalBytes = m.QueueBytes + m.FIFOBytes + m.RNGBytes + m.CSRBytes + m.NodeBytes
+	return m
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"riseandshine/internal/graph"
+)
+
+func memConfig(q QueueKind, report bool) Config {
+	return Config{
+		Graph:     graph.BinaryTree(127),
+		Model:     Model{Knowledge: KT0, Bandwidth: Local},
+		Adversary: Adversary{Schedule: WakeSet{Nodes: []int{0}}, Delays: RandomDelay{Seed: 2}},
+		Seed:      1,
+		Queue:     q,
+		MemReport: report,
+	}
+}
+
+// TestMemReportPopulated checks the report's basic accounting contract:
+// every subsystem that the run touches reports a positive figure, the
+// total is the sum, and the queue is labelled correctly.
+func TestMemReportPopulated(t *testing.T) {
+	for _, q := range []QueueKind{QueueHeap, QueueCalendar} {
+		res, err := RunAsync(memConfig(q, true), floodAlg{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := res.Mem
+		if m == nil {
+			t.Fatalf("queue %v: MemReport requested but Result.Mem is nil", q)
+		}
+		if m.Queue != q.String() {
+			t.Errorf("queue label %q, want %q", m.Queue, q.String())
+		}
+		if m.QueueBytes <= 0 || m.FIFOBytes <= 0 || m.RNGBytes <= 0 || m.CSRBytes <= 0 || m.NodeBytes <= 0 {
+			t.Errorf("queue %v: subsystem bytes not all positive: %+v", q, m)
+		}
+		if sum := m.QueueBytes + m.FIFOBytes + m.RNGBytes + m.CSRBytes + m.NodeBytes; m.TotalBytes != sum {
+			t.Errorf("queue %v: TotalBytes %d != subsystem sum %d", q, m.TotalBytes, sum)
+		}
+		if s := m.String(); !strings.Contains(s, q.String()) {
+			t.Errorf("String() = %q missing queue label", s)
+		}
+	}
+}
+
+// TestMemReportOffByDefault pins that the report stays nil unless asked
+// for, and that the JSON encoding omits it — Results from mem-reporting
+// and plain runs must stay byte-comparable on every other field.
+func TestMemReportOffByDefault(t *testing.T) {
+	res, err := RunAsync(memConfig(QueueHeap, false), floodAlg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem != nil {
+		t.Fatalf("MemReport not requested but Result.Mem = %+v", res.Mem)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "Mem") {
+		t.Fatalf("JSON encoding of a plain Result mentions Mem: %s", b)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{2048, "2.0KiB"},
+		{5 << 20, "5.00MiB"},
+		{3 << 30, "3.00GiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package sim
+
+import "fmt"
+
+// eventQueue is the contract between the asynchronous engine and its event
+// queue. Events are ordered by the strict total order (at, seq) — see
+// eventLess — so any correct implementation pops the identical sequence and
+// the engine's results are byte-identical regardless of which queue is
+// selected; the differential and digest tests pin this.
+//
+// The engine always pushes with ev.at ≥ the last popped time (simulation
+// time is monotone); implementations may exploit that but must stay correct
+// for arbitrary pushes, which the differential harness exercises.
+type eventQueue interface {
+	len() int
+	// reset empties the queue, keeping backing storage, and grows capacity
+	// toward the hint so a warmed queue never reallocates.
+	reset(capacity int)
+	push(ev event)
+	// pop removes and returns the minimum event; it must not be called on
+	// an empty queue.
+	pop() event
+	// memBytes reports the backing storage held, for the memory report.
+	memBytes() int64
+}
+
+// QueueKind selects the asynchronous engine's event-queue implementation.
+// Both queues pop the same (at, seq) order, so the choice never changes a
+// Result — only the cost profile:
+//
+//   - QueueHeap (the default) is the monomorphic 4-ary min-heap: O(log k)
+//     per operation in the number of pending events, with no assumptions
+//     about delay structure. It wins when few events are in flight or when
+//     many share one instant (a heap of ties is nearly free).
+//   - QueueCalendar is the calendar (bucket-ring) queue: delays are bounded
+//     by τ = 1, so pending deliveries live within one τ of the clock and a
+//     ring of time buckets covers them, giving O(1) amortized push/pop.
+//     It wins on large sparse graphs with spread-out delays — the
+//     million-node regime — and loses when thousands of distinct-time
+//     events pile into single buckets (very dense graphs).
+type QueueKind int
+
+const (
+	// QueueHeap selects the 4-ary min-heap (the default).
+	QueueHeap QueueKind = iota
+	// QueueCalendar selects the calendar (bucket-ring) queue.
+	QueueCalendar
+)
+
+// String implements fmt.Stringer.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueHeap:
+		return "heap"
+	case QueueCalendar:
+		return "calendar"
+	default:
+		return fmt.Sprintf("QueueKind(%d)", int(k))
+	}
+}

@@ -70,6 +70,13 @@ type Result struct {
 
 	// Events is the number of engine events processed.
 	Events int
+
+	// Mem is the run's scratch memory report by subsystem (populated when
+	// Config.MemReport is set; nil otherwise). It is diagnostic output:
+	// byte-identity comparisons across queue implementations or engine
+	// reuse should leave MemReport off, since the footprint legitimately
+	// differs while the execution does not.
+	Mem *MemReport `json:",omitempty"`
 }
 
 // AwakeSet returns the node indices woken directly by the adversary.

@@ -47,6 +47,50 @@ func LogLogFit(pts []Point) (slope, intercept float64) {
 	return slope, intercept
 }
 
+// TailFit fits the log–log slope on only the k largest-n usable points —
+// the asymptotic estimate for sweeps spanning several decades (10³–10⁶),
+// where small sizes are still dominated by lower-order terms and drag the
+// full-range slope away from the true exponent. k is clamped to the number
+// of usable points; fewer than two yield NaN.
+func TailFit(pts []Point, k int) (slope, intercept float64) {
+	usable := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		if p.N > 0 && p.Y > 0 {
+			usable = append(usable, p)
+		}
+	}
+	sort.Slice(usable, func(i, j int) bool { return usable[i].N < usable[j].N })
+	if k > len(usable) {
+		k = len(usable)
+	}
+	return LogLogFit(usable[len(usable)-k:])
+}
+
+// PairwiseSlopes returns the log–log slope between each consecutive pair
+// of points in increasing n order: log(y_{i+1}/y_i) / log(n_{i+1}/n_i).
+// The sequence shows how the empirical exponent converges as n grows — a
+// drifting full-range fit with stable tail slopes means the asymptote has
+// been reached. Unusable points (non-positive, or a repeated n) are
+// skipped.
+func PairwiseSlopes(pts []Point) []float64 {
+	usable := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		if p.N > 0 && p.Y > 0 {
+			usable = append(usable, p)
+		}
+	}
+	sort.Slice(usable, func(i, j int) bool { return usable[i].N < usable[j].N })
+	var out []float64
+	for i := 1; i < len(usable); i++ {
+		a, b := usable[i-1], usable[i]
+		if a.N == b.N {
+			continue
+		}
+		out = append(out, math.Log(b.Y/a.Y)/math.Log(b.N/a.N))
+	}
+	return out
+}
+
 // Model is a closed-form growth function of the problem size.
 type Model struct {
 	Name string

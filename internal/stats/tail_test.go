@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func powerPts(exp float64, ns ...float64) []Point {
+	pts := make([]Point, len(ns))
+	for i, n := range ns {
+		pts[i] = Point{N: n, Y: math.Pow(n, exp)}
+	}
+	return pts
+}
+
+func TestTailFitPurePower(t *testing.T) {
+	pts := powerPts(1.5, 1e3, 1e4, 1e5, 1e6)
+	slope, _ := TailFit(pts, 3)
+	if math.Abs(slope-1.5) > 1e-9 {
+		t.Errorf("tail slope %v, want 1.5", slope)
+	}
+}
+
+// TestTailFitIsolatesAsymptote: with a lower-order term polluting small
+// sizes (y = n + 1e4), the full-range fit is dragged below 1 while the
+// tail fit over the largest sizes recovers the linear exponent much more
+// closely.
+func TestTailFitIsolatesAsymptote(t *testing.T) {
+	ns := []float64{1e3, 1e4, 1e5, 1e6, 1e7}
+	pts := make([]Point, len(ns))
+	for i, n := range ns {
+		pts[i] = Point{N: n, Y: n + 1e4}
+	}
+	full, _ := LogLogFit(pts)
+	tail, _ := TailFit(pts, 2)
+	if !(math.Abs(tail-1) < math.Abs(full-1)) {
+		t.Errorf("tail slope %v no closer to 1 than full slope %v", tail, full)
+	}
+	if math.Abs(tail-1) > 0.01 {
+		t.Errorf("tail slope %v, want ≈1", tail)
+	}
+}
+
+func TestTailFitClampsAndDegenerates(t *testing.T) {
+	pts := powerPts(2, 10, 100)
+	if slope, _ := TailFit(pts, 10); math.Abs(slope-2) > 1e-9 {
+		t.Errorf("oversized k: slope %v, want 2", slope)
+	}
+	if slope, _ := TailFit(pts, 1); !math.IsNaN(slope) {
+		t.Errorf("k=1 should yield NaN, got %v", slope)
+	}
+	if slope, _ := TailFit(nil, 3); !math.IsNaN(slope) {
+		t.Errorf("empty input should yield NaN, got %v", slope)
+	}
+	// Unsorted input with unusable points mixed in: the tail is selected by
+	// n after sorting, so the two largest usable sizes give the exact slope.
+	mixed := []Point{{N: 1e6, Y: 1e12}, {N: 0, Y: 5}, {N: 1e4, Y: 1e8}, {N: 1e5, Y: -1}, {N: 1e3, Y: 1e6}}
+	if slope, _ := TailFit(mixed, 2); math.Abs(slope-2) > 1e-9 {
+		t.Errorf("mixed input tail slope %v, want 2", slope)
+	}
+}
+
+func TestPairwiseSlopes(t *testing.T) {
+	pts := powerPts(2, 1e2, 1e3, 1e4, 1e5)
+	ss := PairwiseSlopes(pts)
+	if len(ss) != 3 {
+		t.Fatalf("got %d slopes, want 3", len(ss))
+	}
+	for i, s := range ss {
+		if math.Abs(s-2) > 1e-9 {
+			t.Errorf("slope %d = %v, want 2", i, s)
+		}
+	}
+	// Unsorted input is sorted internally; unusable and duplicate-n points
+	// are skipped.
+	shuffled := []Point{{1e4, 1e8}, {1e2, 1e4}, {-1, 3}, {1e3, 1e6}, {1e3, 1e6}}
+	ss = PairwiseSlopes(shuffled)
+	if len(ss) != 2 {
+		t.Fatalf("got %d slopes from shuffled input, want 2", len(ss))
+	}
+	for i, s := range ss {
+		if math.Abs(s-2) > 1e-9 {
+			t.Errorf("shuffled slope %d = %v, want 2", i, s)
+		}
+	}
+	if got := PairwiseSlopes([]Point{{10, 100}}); len(got) != 0 {
+		t.Errorf("single point should yield no slopes, got %v", got)
+	}
+}

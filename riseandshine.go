@@ -96,7 +96,27 @@ type (
 	// Pass one per sweep worker via RunConfig.Engine; the zero value is
 	// ready to use. Not safe for concurrent use.
 	Engine = sim.AsyncEngine
+	// QueueKind selects the asynchronous engine's event-queue
+	// implementation; any kind produces byte-identical Results.
+	QueueKind = sim.QueueKind
+	// MemReport is the per-subsystem scratch footprint of one asynchronous
+	// run (see RunConfig.MemReport).
+	MemReport = sim.MemReport
 )
+
+// Event-queue implementations for RunConfig.Queue.
+const (
+	// QueueHeap is the default 4-ary min-heap: O(log k) per operation,
+	// robust on every workload.
+	QueueHeap = sim.QueueHeap
+	// QueueCalendar is the calendar (bucket) queue exploiting the bounded
+	// delay horizon τ: amortized O(1) per operation on large sparse runs.
+	QueueCalendar = sim.QueueCalendar
+)
+
+// FormatBytes renders a byte count with a binary unit suffix (B, KiB, MiB,
+// GiB) for memory-report output.
+var FormatBytes = sim.FormatBytes
 
 // Observer constructors and composition (see internal/sim for semantics).
 var (

@@ -57,6 +57,15 @@ type RunConfig struct {
 	// fresh ones. An Engine is not safe for concurrent use — give each
 	// sweep worker its own. Synchronous algorithms ignore it.
 	Engine *Engine
+	// Queue selects the asynchronous engine's event-queue implementation.
+	// The zero value is the 4-ary heap; QueueCalendar switches to the
+	// calendar queue, which pops in byte-identical order. Synchronous
+	// algorithms ignore it.
+	Queue QueueKind
+	// MemReport populates Result.Mem with the run's per-subsystem scratch
+	// footprint (asynchronous engine only). Diagnostic: leave off when
+	// comparing Results byte-for-byte across queue kinds or engine reuse.
+	MemReport bool
 }
 
 // Prepared caches the seed-independent work of one configuration — the
@@ -203,6 +212,8 @@ func (p *Prepared) Run(cfg RunConfig) (*Result, error) {
 		Trace:         cfg.Trace,
 		RecordDigests: cfg.RecordDigests,
 		Observer:      observer,
+		Queue:         cfg.Queue,
+		MemReport:     cfg.MemReport,
 	}
 	alg := p.info.newAsync(cfg.Options)
 	if cfg.Engine != nil {

@@ -20,12 +20,17 @@ out="${2:-bench.json}"
 
 case "$mode" in
   quick)
-    pattern='BenchmarkRunAsync|BenchmarkEngine'
+    # BenchmarkRunAsync also matches the Calendar/Reuse/Metrics variants by
+    # prefix; the graph package contributes the build + BFS-scratch
+    # benchmarks.
+    pattern='BenchmarkRunAsync|BenchmarkEngine|BenchmarkDiameter|BenchmarkBuild'
+    packages='. ./internal/graph'
     benchtime='1x'
     count=1
     ;;
   full)
     pattern='.'
+    packages='. ./internal/graph'
     benchtime='3x'
     count=1
     ;;
@@ -39,7 +44,8 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 echo "bench.sh: running $mode benchmarks (-bench '$pattern' -benchtime $benchtime)" >&2
-go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count "$count" -timeout 30m . | tee "$raw" >&2
+# shellcheck disable=SC2086 — $packages is a deliberate word-split list.
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count "$count" -timeout 30m $packages | tee "$raw" >&2
 
 baseline_args=()
 if [[ -n "${BASELINE:-}" ]]; then
