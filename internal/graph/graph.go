@@ -136,6 +136,8 @@ func (g *Graph) N() int {
 func (g *Graph) M() int { return g.m }
 
 // Degree returns the degree of node index v.
+//
+//wakeup:noalloc
 func (g *Graph) Degree(v int) int { return int(g.off[v+1] - g.off[v]) }
 
 // MaxDegree returns the maximum degree over all nodes (0 for empty graphs).
@@ -151,6 +153,8 @@ func (g *Graph) MaxDegree() int {
 
 // Neighbors returns the sorted neighbor indices of v. The returned slice is
 // shared with the graph and must not be modified.
+//
+//wakeup:noalloc
 func (g *Graph) Neighbors(v int) []int32 { return g.nbr[g.off[v]:g.off[v+1]] }
 
 // CSR exposes the graph's offset and neighbor tables — the same
@@ -159,6 +163,8 @@ func (g *Graph) Neighbors(v int) []int32 { return g.nbr[g.off[v]:g.off[v+1]] }
 func (g *Graph) CSR() (off, nbr []int32) { return g.off, g.nbr }
 
 // HasEdge reports whether the undirected edge {u, v} exists.
+//
+//wakeup:noalloc
 func (g *Graph) HasEdge(u, v int) bool {
 	a := g.Neighbors(u)
 	t := int32(v)
@@ -175,9 +181,12 @@ func (g *Graph) HasEdge(u, v int) bool {
 }
 
 // ID returns the application-visible identifier of node index v.
+//
+//wakeup:noalloc
 func (g *Graph) ID(v int) NodeID {
 	if g.ids == nil {
 		if v < 0 || v >= g.N() {
+			//lint:noalloc-ok panic formatting on the programming-error path only
 			panic(fmt.Sprintf("graph: node index %d out of range [0,%d)", v, g.N()))
 		}
 		return NodeID(v)
@@ -186,6 +195,8 @@ func (g *Graph) ID(v int) NodeID {
 }
 
 // IndexOf returns the node index carrying the given ID, or -1 if absent.
+//
+//wakeup:noalloc
 func (g *Graph) IndexOf(id NodeID) int {
 	if g.idx == nil {
 		if id < 0 || id >= NodeID(g.N()) {

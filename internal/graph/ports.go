@@ -80,8 +80,11 @@ func (pm *PortMap) Graph() *Graph { return pm.g }
 func (pm *PortMap) degree(v int) int { return int(pm.start[v+1] - pm.start[v]) }
 
 // Neighbor returns the node index reached from v via port p (1-based).
+//
+//wakeup:noalloc
 func (pm *PortMap) Neighbor(v, p int) int {
 	if p < 1 || p > pm.degree(v) {
+		//lint:noalloc-ok panic formatting on the programming-error path only
 		panic(fmt.Sprintf("graph: node %d has no port %d (degree %d)", v, p, pm.degree(v)))
 	}
 	return int(pm.ports[pm.start[v]+int32(p)-1])
@@ -89,6 +92,8 @@ func (pm *PortMap) Neighbor(v, p int) int {
 
 // PortTo returns port_v^{-1}(u): the port at v whose edge leads to neighbor
 // u. It panics if u is not a neighbor of v.
+//
+//wakeup:noalloc
 func (pm *PortMap) PortTo(v, u int) int {
 	adj := pm.g.Neighbors(v)
 	t := int32(u)
@@ -102,6 +107,7 @@ func (pm *PortMap) PortTo(v, u int) int {
 		}
 	}
 	if lo >= len(adj) || adj[lo] != t {
+		//lint:noalloc-ok panic formatting on the programming-error path only
 		panic(fmt.Sprintf("graph: %d is not a neighbor of %d", u, v))
 	}
 	return int(pm.inv[pm.start[v]+int32(lo)])

@@ -67,12 +67,18 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//wakeup:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//wakeup:noalloc
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
+//
+//wakeup:noalloc
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Name returns the metric name.
@@ -85,9 +91,13 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//wakeup:noalloc
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add increments the gauge by d (atomically, via CAS).
+//
+//wakeup:noalloc
 func (g *Gauge) Add(d float64) {
 	for {
 		old := g.bits.Load()
@@ -99,6 +109,8 @@ func (g *Gauge) Add(d float64) {
 }
 
 // Value returns the current gauge value.
+//
+//wakeup:noalloc
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Name returns the metric name.
@@ -115,6 +127,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//wakeup:noalloc
 func (h *Histogram) Observe(v float64) {
 	h.buckets[bucketExp(v)-minExp].Add(1)
 	h.count.Add(1)

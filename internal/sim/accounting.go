@@ -59,6 +59,8 @@ func (a *Accounting) Result() *Result { return &a.res }
 
 // Wake records node v waking at the given time, directly by the adversary
 // when adversarial is true. Callers guarantee at most one call per node.
+//
+//wakeup:noalloc
 func (a *Accounting) Wake(v int, at Time, adversarial bool) {
 	a.res.AwakeCount++
 	a.res.WakeAt[v] = at
@@ -74,14 +76,19 @@ func (a *Accounting) Wake(v int, at Time, adversarial bool) {
 
 // AdversaryWoken reports whether node v was woken directly by the
 // adversary (the engines' Context.AdversarialWake reads this).
+//
+//wakeup:noalloc
 func (a *Accounting) AdversaryWoken(v int) bool { return a.res.AdversaryWoken[v] }
 
 // Send records one message of the given size leaving node from over the
 // given port. It rejects negative sizes and counts CONGEST violations;
 // whether a violation is fatal is the engine's StrictCongest decision,
 // checked at the end via CongestError.
+//
+//wakeup:noalloc
 func (a *Accounting) Send(from, port, bits int) error {
 	if bits < 0 {
+		//lint:noalloc-ok error formatting aborts the run; never on the steady-state path
 		return fmt.Errorf("sim: message reports negative size %d bits", bits)
 	}
 	a.res.Messages++
@@ -100,6 +107,8 @@ func (a *Accounting) Send(from, port, bits int) error {
 }
 
 // Deliver records node v receiving one message on the given port.
+//
+//wakeup:noalloc
 func (a *Accounting) Deliver(v, port int) {
 	a.res.ReceivedBy[v]++
 	if a.portUsed != nil {

@@ -29,7 +29,10 @@ type WakeScheduler interface {
 // arguments given — never on node state — keeping the adversary oblivious.
 type Delayer interface {
 	// Delay returns the delay of the k-th message (k = 0, 1, …) sent on the
-	// directed edge from→to, which was sent at sendTime.
+	// directed edge from→to, which was sent at sendTime. It is called once
+	// per message, so implementations must not allocate.
+	//
+	//wakeup:noalloc
 	Delay(from, to, k int, sendTime Time) float64
 }
 

@@ -131,20 +131,32 @@ type asyncCtx struct {
 
 var _ Context = (*asyncCtx)(nil)
 
-func (c *asyncCtx) Info() NodeInfo        { return c.e.s.Infos[c.node] }
-func (c *asyncCtx) Now() Time             { return c.e.now }
-func (c *asyncCtx) Round() int            { return -1 }
-func (c *asyncCtx) Rand() *rand.Rand      { return c.e.rands[c.node] }
+//wakeup:noalloc
+func (c *asyncCtx) Info() NodeInfo { return c.e.s.Infos[c.node] }
+
+//wakeup:noalloc
+func (c *asyncCtx) Now() Time { return c.e.now }
+
+//wakeup:noalloc
+func (c *asyncCtx) Round() int { return -1 }
+
+//wakeup:noalloc
+func (c *asyncCtx) Rand() *rand.Rand { return c.e.rands[c.node] }
+
+//wakeup:noalloc
 func (c *asyncCtx) AdversarialWake() bool { return c.e.acct.AdversaryWoken(c.node) }
 
+//wakeup:noalloc
 func (c *asyncCtx) Send(port int, m Message) {
 	c.e.send(c.node, port, m)
 }
 
+//wakeup:noalloc
 func (c *asyncCtx) SendToID(id graph.NodeID, m Message) {
 	c.e.sendToID(c.node, id, m)
 }
 
+//wakeup:noalloc
 func (c *asyncCtx) Broadcast(m Message) {
 	start := c.e.s.EdgeStart
 	deg := int(start[c.node+1] - start[c.node])
@@ -306,8 +318,11 @@ func (e *AsyncEngine) reset(n, dir int) {
 // growClear returns s with length n and every element zeroed, reusing the
 // backing array when capacity allows — the reset-not-reallocate primitive
 // behind the engine scratch.
+//
+//wakeup:noalloc
 func growClear[E any](s []E, n int) []E {
 	if cap(s) < n {
+		//lint:noalloc-ok grows to the high-water mark once, then every later reset reuses the array
 		return make([]E, n)
 	}
 	s = s[:n]
@@ -328,12 +343,14 @@ func (cfg Config) observer() Observer {
 	return StackObservers(trace, digest, cfg.Observer)
 }
 
+//wakeup:noalloc
 func (e *AsyncEngine) push(ev event) {
 	ev.seq = e.seq
 	e.seq++
 	e.queue.push(ev)
 }
 
+//wakeup:noalloc
 func (e *AsyncEngine) wake(v int, adversarial bool) {
 	if e.awake[v] {
 		return
@@ -341,17 +358,22 @@ func (e *AsyncEngine) wake(v int, adversarial bool) {
 	e.awake[v] = true
 	e.acct.Wake(v, e.now, adversarial)
 	if r := e.rands[v]; r == nil {
+		//lint:noalloc-ok one generator per node, built on its first wake ever and reseeded in place across runs
 		e.rands[v] = NodeRand(e.seed, v)
 	} else {
 		ReseedNode(r, e.seed, v)
 	}
 	if e.obs != nil {
+		//lint:noalloc-ok observers are opt-in diagnostics on their own allocation budget; the nil guard keeps the default path clean
 		e.obs.OnWake(e.now, v, adversarial)
 	}
+	//lint:noalloc-ok one machine per node per run, charged to the algorithm's budget
 	e.machines[v] = e.alg.NewMachine(e.s.Infos[v])
+	//lint:noalloc-ok handler allocations are the algorithm's budget, pinned by the steady-state zero-alloc tests
 	e.machines[v].OnWake(&e.ctxs[v])
 }
 
+//wakeup:noalloc
 func (e *AsyncEngine) deliver(v int, d Delivery) {
 	if !e.awake[v] {
 		e.wake(v, false)
@@ -361,16 +383,20 @@ func (e *AsyncEngine) deliver(v int, d Delivery) {
 	}
 	e.acct.Deliver(v, d.Port)
 	if e.obs != nil {
+		//lint:noalloc-ok observers are opt-in diagnostics on their own allocation budget; the nil guard keeps the default path clean
 		e.obs.OnDeliver(e.now, v, d)
 	}
+	//lint:noalloc-ok handler allocations are the algorithm's budget, pinned by the steady-state zero-alloc tests
 	e.machines[v].OnMessage(&e.ctxs[v], d)
 }
 
+//wakeup:noalloc
 func (e *AsyncEngine) send(from, port int, m Message) {
 	if e.err != nil {
 		return
 	}
 	if !e.awake[from] {
+		//lint:noalloc-ok error formatting aborts the run; never on the steady-state path
 		e.err = fmt.Errorf("sim: sleeping node %d attempted to send", from)
 		return
 	}
@@ -378,6 +404,7 @@ func (e *AsyncEngine) send(from, port int, m Message) {
 	ei := s.EdgeStart[from] + int32(port) - 1
 	if port < 1 || ei >= s.EdgeStart[from+1] {
 		// Same contract (and message) as graph.PortMap.Neighbor.
+		//lint:noalloc-ok panic formatting on the programming-error path only
 		panic(fmt.Sprintf("graph: node %d has no port %d (degree %d)", from, port, s.EdgeStart[from+1]-s.EdgeStart[from]))
 	}
 	to := int(s.EdgeTo[ei])
@@ -386,6 +413,7 @@ func (e *AsyncEngine) send(from, port int, m Message) {
 		return
 	}
 	if e.obs != nil {
+		//lint:noalloc-ok observers are opt-in diagnostics on their own allocation budget; the nil guard keeps the default path clean
 		e.obs.OnSend(e.now, from, port, m)
 	}
 
@@ -393,6 +421,7 @@ func (e *AsyncEngine) send(from, port int, m Message) {
 	e.edgeSeq[ei]++
 	delay := e.delays.Delay(from, to, k, e.now)
 	if delay <= 0 || delay > 1 {
+		//lint:noalloc-ok error formatting aborts the run; never on the steady-state path
 		e.err = fmt.Errorf("sim: delayer returned %v outside (0,1]", delay)
 		return
 	}
@@ -415,13 +444,16 @@ func (e *AsyncEngine) send(from, port int, m Message) {
 	})
 }
 
+//wakeup:noalloc
 func (e *AsyncEngine) sendToID(from int, id graph.NodeID, m Message) {
 	if e.s.Model.Knowledge != KT1 {
+		//lint:noalloc-ok error formatting aborts the run; never on the steady-state path
 		e.err = fmt.Errorf("sim: SendToID requires KT1 (model is %v)", e.s.Model.Knowledge)
 		return
 	}
 	to := e.g.IndexOf(id)
 	if to == -1 || !e.g.HasEdge(from, to) {
+		//lint:noalloc-ok error formatting aborts the run; never on the steady-state path
 		e.err = fmt.Errorf("sim: node ID %d has no neighbor with ID %d", e.g.ID(from), id)
 		return
 	}

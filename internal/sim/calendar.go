@@ -117,6 +117,7 @@ func (q *calendarQueue) push(ev event) {
 // append in the common case. Ties on at break by seq, and pushes carry the
 // largest seq so far, so tie-heavy (quantized) delay patterns also append.
 func (q *calendarQueue) insert(b int, ev event) {
+	//lint:noalloc-ok each bucket grows to its high-water occupancy, then reuses the array (reset keeps capacity)
 	evs := append(q.buckets[b], ev)
 	lo := int(q.head[b])
 	i := len(evs) - 1

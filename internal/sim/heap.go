@@ -46,6 +46,7 @@ func (h *eventHeap) reset(capacity int) {
 
 // push adds ev, restoring the heap invariant by sifting up.
 func (h *eventHeap) push(ev event) {
+	//lint:noalloc-ok grows to the high-water mark of in-flight events, then reuses the array (reset keeps capacity)
 	h.a = append(h.a, ev)
 	i := len(h.a) - 1
 	for i > 0 {

@@ -115,6 +115,10 @@ func CeilLog2(n int) int {
 // reasonable serialization of the payload, since the CONGEST engine
 // enforces the limit on this number.
 type Message interface {
+	// Bits reports the message's size. It sits on the engines' per-message
+	// hot path, so every implementation must compute it without allocating.
+	//
+	//wakeup:noalloc
 	Bits() int
 }
 

@@ -12,13 +12,20 @@ import "fmt"
 // time is monotone); implementations may exploit that but must stay correct
 // for arbitrary pushes, which the differential harness exercises.
 type eventQueue interface {
+	//wakeup:noalloc
 	len() int
 	// reset empties the queue, keeping backing storage, and grows capacity
 	// toward the hint so a warmed queue never reallocates.
 	reset(capacity int)
+	// push enqueues one event; steady-state pushes into a warmed queue
+	// must not allocate (growth beyond the high-water mark is amortized).
+	//
+	//wakeup:noalloc
 	push(ev event)
 	// pop removes and returns the minimum event; it must not be called on
 	// an empty queue.
+	//
+	//wakeup:noalloc
 	pop() event
 	// memBytes reports the backing storage held, for the memory report.
 	memBytes() int64

@@ -42,7 +42,10 @@ func NodeRand(seed int64, v int) *rand.Rand {
 // allocating (rand.Rand.Seed resets both the generator state and the Read
 // position). Engine scratch reuse depends on this equivalence; a test pins
 // it against NodeRand.
+//
+//wakeup:noalloc
 func ReseedNode(r *rand.Rand, seed int64, v int) {
+	//lint:noalloc-ok rand.Rand.Seed resets the generator state in place; the zero-alloc reseed test pins this
 	r.Seed(deriveSeed(seed, streamNodeRand, uint64(v)))
 }
 

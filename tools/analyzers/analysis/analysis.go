@@ -6,9 +6,12 @@
 // the build environment is offline and the module must remain free of
 // external dependencies.
 //
-// Facts, SSA, and result propagation between analyzers are deliberately
-// omitted — the wakeuplint suite is purely syntactic + type-informed and
-// every analyzer is independent.
+// SSA and result propagation between analyzers are deliberately omitted,
+// but the framework does support serialized facts (see facts.go): an
+// analyzer may prove statements about package-level objects and have them
+// flow to every dependent package, both in-process (standalone and
+// analysistest drivers) and across `go vet` unit-checker invocations via
+// .vetx files. Analyzers remain independent of each other.
 package analysis
 
 import (
@@ -26,6 +29,10 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) (interface{}, error)
+	// FactTypes lists prototype values (pointers to zero structs) of every
+	// fact type the analyzer exports or imports; drivers use it to decode
+	// serialized facts.
+	FactTypes []Fact
 }
 
 // Pass provides one analyzed package to an Analyzer's Run function.
@@ -37,6 +44,15 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one diagnostic. Drivers install it.
 	Report func(Diagnostic)
+
+	// Fact hooks, installed by FactSet.Bind. ExportObjectFact records a
+	// fact about an object of this package; ImportObjectFact copies a
+	// previously exported fact about obj (any package) into fact, reporting
+	// whether one existed; AllObjectFacts lists every fact of this analyzer
+	// resolvable through the package's import graph.
+	ExportObjectFact func(obj types.Object, fact Fact)
+	ImportObjectFact func(obj types.Object, fact Fact) bool
+	AllObjectFacts   func() []ObjectFact
 }
 
 // Diagnostic is one reported finding.

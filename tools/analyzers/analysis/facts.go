@@ -1,0 +1,342 @@
+// Facts: the interprocedural layer of the vendored analysis framework.
+//
+// A Fact is a serializable statement an analyzer proves about a named
+// object — "this function is allocation-free", "this function transitively
+// reads the wall clock", "this field is accessed atomically" — exported
+// while analyzing the object's package and imported by every dependent
+// package. This mirrors golang.org/x/tools/go/analysis facts, scoped to
+// what the wakeuplint suite needs:
+//
+//   - only object facts (no package facts), attached to package-level
+//     functions, methods, variables, types, and struct fields;
+//   - JSON rather than gob encoding, so .vetx files are inspectable;
+//   - objects are addressed by a two-segment path ("Name" for scope
+//     objects, "Type.Member" for methods, interface methods, and struct
+//     fields) instead of the full objectpath algebra — exactly the shapes
+//     gc export data can resolve on the importing side.
+//
+// The driver owns a FactSet: it decodes the serialized facts of every
+// dependency (the go command hands them over as .vetx files in vet mode;
+// the standalone and analysistest drivers thread them in memory and
+// through an explicit encode/decode roundtrip), binds the set to each
+// Pass, and encodes the accumulated set — imported facts included, so
+// transitive dependents need only their direct imports — when the package
+// is done.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is a serializable statement about a named object. Implementations
+// must be pointers to JSON-marshalable structs; AFact is a marker.
+type Fact interface {
+	AFact()
+}
+
+// ObjectFact pairs a resolved object with one fact about it.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// ObjectPath returns the stable intra-package address of obj: "Name" for
+// package-scope objects, "Type.Member" for methods (value or pointer
+// receiver), interface methods, and fields of package-level named struct
+// types. The second result is false for objects facts cannot address
+// (locals, fields of anonymous structs, …).
+func ObjectPath(obj types.Object) (string, bool) {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if obj.Parent() == pkg.Scope() {
+		return obj.Name(), true
+	}
+	if f, ok := obj.(*types.Func); ok {
+		sig, ok := f.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return "", false
+		}
+		if name, ok := recvTypeName(sig.Recv().Type()); ok {
+			return name + "." + f.Name(), true
+		}
+		// Interface methods carry the bare interface as receiver; address
+		// them through the package-level named interface that declares them.
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			iface, ok := tn.Type().Underlying().(*types.Interface)
+			if !ok {
+				continue
+			}
+			for i := 0; i < iface.NumExplicitMethods(); i++ {
+				if iface.ExplicitMethod(i) == f {
+					return name + "." + f.Name(), true
+				}
+			}
+		}
+		return "", false
+	}
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		// Find the package-level named struct type owning this field.
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == v {
+					return name + "." + v.Name(), true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// recvTypeName names the receiver's type, dereferencing one pointer.
+func recvTypeName(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj().Name(), true
+	case *types.Interface:
+		// Interface methods reach here when the receiver is the interface
+		// itself; they are addressed through their defining TypeName, which
+		// the *types.Func path above cannot recover — callers attach facts
+		// to interface methods via the method object found by lookup, whose
+		// Parent is nil and whose receiver is the named interface.
+		return "", false
+	}
+	return "", false
+}
+
+// FindObject resolves an ObjectPath within pkg: "Name" through the package
+// scope, "Type.Member" through field-or-method lookup (methods with either
+// receiver kind, interface methods, struct fields).
+func FindObject(pkg *types.Package, path string) types.Object {
+	for i := 0; i < len(path); i++ {
+		if path[i] == '.' {
+			tn, ok := pkg.Scope().Lookup(path[:i]).(*types.TypeName)
+			if !ok {
+				return nil
+			}
+			recv := types.Type(types.NewPointer(tn.Type()))
+			if types.IsInterface(tn.Type()) {
+				recv = tn.Type() // pointer-to-interface has no method set
+			}
+			obj, _, _ := types.LookupFieldOrMethod(recv, true, pkg, path[i+1:])
+			return obj
+		}
+	}
+	return pkg.Scope().Lookup(path)
+}
+
+// factKey addresses the facts one analyzer holds about one object.
+type factKey struct {
+	pkg      string // package import path
+	obj      string // ObjectPath within the package
+	analyzer string
+}
+
+// factEntry is the serialized form of one fact.
+type factEntry struct {
+	Pkg      string
+	Object   string
+	Analyzer string
+	Type     string // concrete fact type, e.g. "*noalloc.AllocFree"
+	Data     json.RawMessage
+}
+
+// FactSet is a driver-side store of facts spanning many packages. It is
+// not safe for concurrent use.
+type FactSet struct {
+	analyzers map[string]*Analyzer
+	m         map[factKey][]Fact
+}
+
+// NewFactSet returns a store that can decode facts produced by the given
+// analyzers (FactTypes declares the concrete types).
+func NewFactSet(analyzers []*Analyzer) *FactSet {
+	s := &FactSet{analyzers: make(map[string]*Analyzer), m: make(map[factKey][]Fact)}
+	for _, a := range analyzers {
+		s.analyzers[a.Name] = a
+	}
+	return s
+}
+
+// Encode serializes every fact in the set — the analyzed package's own
+// facts and all imported ones, so dependents only need their direct
+// imports. Output is deterministic.
+func (s *FactSet) Encode() ([]byte, error) {
+	var entries []factEntry
+	for k, facts := range s.m {
+		for _, f := range facts {
+			data, err := json.Marshal(f)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: encoding fact %T on %s.%s: %v", f, k.pkg, k.obj, err)
+			}
+			entries = append(entries, factEntry{
+				Pkg: k.pkg, Object: k.obj, Analyzer: k.analyzer,
+				Type: factTypeName(f), Data: data,
+			})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Type < b.Type
+	})
+	return json.Marshal(entries)
+}
+
+// Decode merges serialized facts into the set. Empty input is allowed (a
+// package may export no facts). Facts whose analyzer or type is unknown to
+// this set are skipped: a FactSet built for a subset of the suite (-only)
+// ignores the rest.
+func (s *FactSet) Decode(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var entries []factEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return fmt.Errorf("analysis: decoding facts: %v", err)
+	}
+	for _, e := range entries {
+		a, ok := s.analyzers[e.Analyzer]
+		if !ok {
+			continue
+		}
+		var proto Fact
+		for _, ft := range a.FactTypes {
+			if factTypeName(ft) == e.Type {
+				proto = ft
+				break
+			}
+		}
+		if proto == nil {
+			continue
+		}
+		f := reflect.New(reflect.TypeOf(proto).Elem()).Interface().(Fact)
+		if err := json.Unmarshal(e.Data, f); err != nil {
+			return fmt.Errorf("analysis: decoding %s fact on %s.%s: %v", e.Type, e.Pkg, e.Object, err)
+		}
+		s.add(factKey{pkg: e.Pkg, obj: e.Object, analyzer: e.Analyzer}, f)
+	}
+	return nil
+}
+
+// add stores f under k, replacing an existing fact of the same concrete
+// type (decoding a dependency that re-exported our own facts is a no-op).
+func (s *FactSet) add(k factKey, f Fact) {
+	for i, old := range s.m[k] {
+		if reflect.TypeOf(old) == reflect.TypeOf(f) {
+			s.m[k][i] = f
+			return
+		}
+	}
+	s.m[k] = append(s.m[k], f)
+}
+
+// factTypeName names a fact's concrete type, e.g. "*noalloc.AllocFree".
+func factTypeName(f Fact) string { return reflect.TypeOf(f).String() }
+
+// Bind installs the fact hooks on pass, scoping exports to pass.Pkg and
+// resolving imported facts against the pass's import graph.
+func (s *FactSet) Bind(pass *Pass) {
+	name := pass.Analyzer.Name
+	pass.ExportObjectFact = func(obj types.Object, fact Fact) {
+		if obj == nil || obj.Pkg() != pass.Pkg {
+			panic(fmt.Sprintf("analysis: %s: ExportObjectFact on object %v outside %s", name, obj, pass.Pkg.Path()))
+		}
+		path, ok := ObjectPath(obj)
+		if !ok {
+			return // unaddressable object: the fact cannot outlive this pass
+		}
+		s.add(factKey{pkg: pass.Pkg.Path(), obj: path, analyzer: name}, fact)
+	}
+	pass.ImportObjectFact = func(obj types.Object, fact Fact) bool {
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		path, ok := ObjectPath(obj)
+		if !ok {
+			return false
+		}
+		k := factKey{pkg: obj.Pkg().Path(), obj: path, analyzer: name}
+		for _, f := range s.m[k] {
+			if reflect.TypeOf(f) == reflect.TypeOf(fact) {
+				reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+				return true
+			}
+		}
+		return false
+	}
+	pass.AllObjectFacts = func() []ObjectFact {
+		pkgs := importClosure(pass.Pkg)
+		var keys []factKey
+		for k := range s.m {
+			if k.analyzer == name && pkgs[k.pkg] != nil {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].pkg != keys[j].pkg {
+				return keys[i].pkg < keys[j].pkg
+			}
+			return keys[i].obj < keys[j].obj
+		})
+		var out []ObjectFact
+		for _, k := range keys {
+			obj := FindObject(pkgs[k.pkg], k.obj)
+			if obj == nil {
+				continue
+			}
+			for _, f := range s.m[k] {
+				out = append(out, ObjectFact{Object: obj, Fact: f})
+			}
+		}
+		return out
+	}
+}
+
+// importClosure maps import paths to packages over pkg and its transitive
+// imports.
+func importClosure(pkg *types.Package) map[string]*types.Package {
+	out := make(map[string]*types.Package)
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		if out[p.Path()] != nil {
+			return
+		}
+		out[p.Path()] = p
+		for _, imp := range p.Imports() {
+			walk(imp)
+		}
+	}
+	walk(pkg)
+	return out
+}

@@ -92,17 +92,31 @@ func splitQuoted(s string) (string, string, error) {
 
 // Run loads testdata/src/<pkg> for each named package (resolved relative
 // to dir, conventionally the analyzer's source directory), applies the
-// analyzer, and reports mismatches between diagnostics and expectations.
+// analyzer to each in the given order, and reports mismatches between
+// diagnostics and expectations.
+//
+// Packages are analyzed dependencies-first as listed, and facts flow
+// between them exactly as they do between `go vet` unit-checker
+// invocations: the facts accumulated after each package are serialized,
+// and the next package starts from a fresh FactSet decoded from those
+// bytes. A fixture that diagnoses in a caller package because of a fact
+// exported by its dependency therefore exercises the full encode/decode
+// path — deleting the fact layer makes it fail, not silently pass.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
-	for _, name := range pkgs {
-		pkgdir := filepath.Join(dir, "testdata", "src", name)
-		pkg, err := load.Dir(pkgdir)
-		if err != nil {
-			t.Fatalf("%s: loading %s: %v", a.Name, pkgdir, err)
-		}
+	loaded, err := load.Dirs(filepath.Join(dir, "testdata", "src"), pkgs...)
+	if err != nil {
+		t.Fatalf("%s: loading %v: %v", a.Name, pkgs, err)
+	}
+	var carried []byte // facts serialized after the previous package
+	for i, pkg := range loaded {
+		name := pkgs[i]
 		if len(pkg.TypeErrors) > 0 {
-			t.Fatalf("%s: type errors in %s: %v", a.Name, pkgdir, pkg.TypeErrors)
+			t.Fatalf("%s: type errors in %s: %v", a.Name, name, pkg.TypeErrors)
+		}
+		facts := analysis.NewFactSet([]*analysis.Analyzer{a})
+		if err := facts.Decode(carried); err != nil {
+			t.Fatalf("%s: decoding facts before %s: %v", a.Name, name, err)
 		}
 		var diags []analysis.Diagnostic
 		pass := &analysis.Pass{
@@ -113,8 +127,12 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 			TypesInfo: pkg.TypesInfo,
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 		}
+		facts.Bind(pass)
 		if _, err := a.Run(pass); err != nil {
 			t.Fatalf("%s: run on %s: %v", a.Name, name, err)
+		}
+		if carried, err = facts.Encode(); err != nil {
+			t.Fatalf("%s: encoding facts after %s: %v", a.Name, name, err)
 		}
 		wants := parseWants(t, pkg)
 		for _, d := range diags {

@@ -1,0 +1,215 @@
+// Package atomicaccess enforces all-or-nothing atomicity: a variable or
+// struct field that is ever accessed through the function-based sync/atomic
+// API — atomic.AddUint64(&c.hits, 1), atomic.LoadInt64(&seq), … — must be
+// accessed atomically at every other site too. Mixing one atomic writer
+// with a plain reader is a data race the race detector only catches when
+// the interleaving happens; this analyzer catches it structurally.
+//
+// The check is interprocedural: when a package passes &T.f to a
+// sync/atomic function, the field carries an Atomic fact in the package's
+// serialized fact set, and every dependent package checks its own plain
+// accesses of that field against it. The typed atomics (atomic.Uint64,
+// atomic.Bool, …) need no linting — their only access path is atomic —
+// which is why the simulator's own code prefers them; this analyzer guards
+// the function-based residue and any future regression to it.
+//
+// Deliberate plain accesses (reads in a constructor before the value is
+// published, accesses under a lock that orders all writers) are suppressed
+// line by line:
+//
+//	//lint:atomic-ok <why no concurrent atomic access can happen here>
+//
+// on the access's line or the line above. A bare suppression without a
+// reason is itself a diagnostic. Composite-literal field keys are exempt
+// (initializing a fresh, unpublished value is not a race), as are test
+// files.
+package atomicaccess
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"riseandshine/tools/analyzers/analysis"
+)
+
+// Atomic marks a package-level variable or struct field accessed through
+// the function-based sync/atomic API somewhere in its defining package.
+type Atomic struct{}
+
+// AFact marks Atomic as a serializable fact.
+func (*Atomic) AFact() {}
+
+// Analyzer is the atomicaccess pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicaccess",
+	Doc:       "a field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*Atomic)(nil)},
+}
+
+// suppressionMarker introduces a justified plain access.
+const suppressionMarker = "lint:atomic-ok"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Pass 1: find every &x or &x.f handed to a sync/atomic function.
+	// sanctioned records the exact AST nodes of those operands so pass 2
+	// does not flag the atomic accesses themselves; atomicObjs is the set
+	// of objects known atomic from this package's own code.
+	sanctioned := make(map[ast.Expr]bool)
+	atomicObjs := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		if pass.TestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				target := ast.Unparen(un.X)
+				sanctioned[target] = true
+				if obj := accessedObject(pass, target); obj != nil {
+					atomicObjs[obj] = true
+					if obj.Pkg() == pass.Pkg {
+						pass.ExportObjectFact(obj, &Atomic{})
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	isAtomic := func(obj types.Object) bool {
+		if atomicObjs[obj] {
+			return true
+		}
+		var fact Atomic
+		return obj.Pkg() != nil && obj.Pkg() != pass.Pkg && pass.ImportObjectFact(obj, &fact)
+	}
+
+	// Pass 2: flag every remaining access of an atomic object.
+	for _, f := range pass.Files {
+		if pass.TestFile(f.Pos()) {
+			continue
+		}
+		supp := collectSuppressions(pass, f)
+		consumed := make(map[*ast.Ident]bool) // idents owned by a visited selector
+		ast.Inspect(f, func(n ast.Node) bool {
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					consumed[id] = true // composite-literal initialization
+				}
+				return true
+			}
+			var obj types.Object
+			var pos token.Pos
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				consumed[n.Sel] = true
+				if sanctioned[n] {
+					return true
+				}
+				obj = accessedObject(pass, n)
+				pos = n.Pos()
+			case *ast.Ident:
+				if consumed[n] || sanctioned[n] {
+					return true
+				}
+				obj = accessedObject(pass, n)
+				pos = n.Pos()
+			default:
+				return true
+			}
+			if obj == nil || !isAtomic(obj) {
+				return true
+			}
+			line := pass.Fset.Position(pos).Line
+			if reason, ok := supp[line]; ok {
+				if reason == "" {
+					pass.Reportf(pos,
+						"atomicaccess: suppression %s requires a justification: //%s <reason>", suppressionMarker, suppressionMarker)
+				}
+				return true
+			}
+			pass.Reportf(pos,
+				"atomicaccess: %s is accessed with sync/atomic elsewhere; this plain access races with it — use sync/atomic here too, migrate to a typed atomic, or annotate //%s <reason>",
+				objName(obj), suppressionMarker)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isAtomicCall reports whether call invokes a package-level function of
+// sync/atomic (the function-based API; typed-atomic methods are safe by
+// construction and never match).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// accessedObject resolves an access expression to the variable it reads or
+// writes: a struct field for selectors, a package-level variable for
+// identifiers. Locals return nil (a local can only race if captured, and
+// its address would then flow through a field or global anyway).
+func accessedObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok {
+			if v.IsField() || (v.Pkg() != nil && v.Parent() == v.Pkg().Scope()) {
+				return v
+			}
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// collectSuppressions maps the source lines covered by //lint:atomic-ok
+// comments (the comment's line and the line below) to the reason text.
+func collectSuppressions(pass *analysis.Pass, f *ast.File) map[int]string {
+	covered := make(map[int]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, suppressionMarker)
+			if !ok {
+				continue
+			}
+			line := pass.Fset.Position(c.Pos()).Line
+			covered[line] = strings.TrimSpace(rest)
+			covered[line+1] = covered[line]
+		}
+	}
+	return covered
+}
+
+// objName renders Type.field or the variable name for diagnostics.
+func objName(obj types.Object) string {
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		if path, ok := analysis.ObjectPath(v); ok {
+			return path
+		}
+	}
+	return obj.Name()
+}

@@ -1,0 +1,19 @@
+package atomicaccess_test
+
+import (
+	"testing"
+
+	"riseandshine/tools/analyzers/analysistest"
+	"riseandshine/tools/analyzers/atomicaccess"
+)
+
+func TestAtomicAccess(t *testing.T) {
+	analysistest.Run(t, ".", atomicaccess.Analyzer, "a")
+}
+
+// TestAtomicAccessCrossPackage proves the Atomic fact on shared.Gauge.Val
+// flows to the client package: client never mentions sync/atomic, yet its
+// plain accesses are flagged.
+func TestAtomicAccessCrossPackage(t *testing.T) {
+	analysistest.Run(t, ".", atomicaccess.Analyzer, "shared", "client")
+}

@@ -1,0 +1,58 @@
+// Package a exercises single-package atomic-access consistency.
+package a
+
+import "sync/atomic"
+
+// Counter mixes an atomically updated field with a never-atomic one.
+type Counter struct {
+	hits   uint64
+	misses uint64
+}
+
+// Inc marks hits atomic for the whole program.
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// Read races with Inc.
+func (c *Counter) Read() uint64 {
+	return c.hits // want `atomicaccess: Counter\.hits is accessed with sync/atomic elsewhere`
+}
+
+// ReadAtomic is the sanctioned access path.
+func (c *Counter) ReadAtomic() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// Store writes plainly: also a race.
+func (c *Counter) Store(v uint64) {
+	c.hits = v // want `atomicaccess: Counter\.hits is accessed with sync/atomic elsewhere`
+}
+
+// Misses is fine: misses is never touched atomically.
+func (c *Counter) Misses() uint64 { return c.misses }
+
+// NewCounter initializes by field key: composite-literal keys are exempt.
+func NewCounter() *Counter {
+	return &Counter{hits: 0, misses: 0}
+}
+
+var total uint64
+
+func bump() {
+	atomic.AddUint64(&total, 1)
+}
+
+func read() uint64 {
+	return total // want `atomicaccess: total is accessed with sync/atomic elsewhere`
+}
+
+func readSuppressed() uint64 {
+	//lint:atomic-ok snapshot taken after all workers joined
+	return total
+}
+
+func readBare() uint64 {
+	//lint:atomic-ok
+	return total // want `atomicaccess: suppression lint:atomic-ok requires a justification`
+}

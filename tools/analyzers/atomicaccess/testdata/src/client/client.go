@@ -1,0 +1,27 @@
+// Package client touches shared.Gauge.Val plainly. Nothing in this file
+// references sync/atomic, so the diagnostics exist only because shared's
+// Atomic fact crossed the package boundary.
+package client
+
+import "shared"
+
+// Peek races with shared.Bump.
+func Peek(g *shared.Gauge) uint64 {
+	return g.Val // want `atomicaccess: Gauge\.Val is accessed with sync/atomic elsewhere`
+}
+
+// Reset races too.
+func Reset(g *shared.Gauge) {
+	g.Val = 0 // want `atomicaccess: Gauge\.Val is accessed with sync/atomic elsewhere`
+}
+
+// Fresh initializes an unpublished value: exempt.
+func Fresh() *shared.Gauge {
+	return &shared.Gauge{Val: 0}
+}
+
+// Justified documents a safe plain read.
+func Justified(g *shared.Gauge) uint64 {
+	//lint:atomic-ok caller holds the registry lock that orders all writers
+	return g.Val
+}

@@ -1,0 +1,21 @@
+// Package shared is the dependency side of the cross-package fixture: it
+// updates Gauge.Val atomically, exporting an Atomic fact for it.
+package shared
+
+import "sync/atomic"
+
+// Gauge is a counter shared across packages.
+type Gauge struct {
+	// Val is updated by concurrent workers.
+	Val uint64
+}
+
+// Bump is the sanctioned write path.
+func Bump(g *Gauge) {
+	atomic.AddUint64(&g.Val, 1)
+}
+
+// Snapshot is the sanctioned read path.
+func Snapshot(g *Gauge) uint64 {
+	return atomic.LoadUint64(&g.Val)
+}

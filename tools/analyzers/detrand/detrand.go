@@ -22,22 +22,42 @@
 //     sim.AsyncEngine), which has the same allocation profile and none of
 //     the scheduling dependence.
 //
+// The check is interprocedural: a function whose body (transitively,
+// through same-package calls) touches a forbidden entropy source carries a
+// Tainted fact, serialized alongside the package's export data. Referencing
+// a tainted function from another package is then a diagnostic at the use
+// site — wrapping time.Now in a helper one package over no longer slips
+// past the direct-call check. Within one package the root use site is
+// already flagged, so local calls to tainted functions are not re-reported.
+//
 // Test files are exempt (the driver additionally exempts examples/ and
 // all packages outside the deterministic set).
 package detrand
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 
 	"riseandshine/tools/analyzers/analysis"
 )
 
+// Tainted marks a function that transitively observes a nondeterministic
+// entropy source. Reason is the call chain down to the source, e.g.
+// "Jitter → seedFromClock → time.Now".
+type Tainted struct {
+	Reason string
+}
+
+// AFact marks Tainted as a serializable fact.
+func (*Tainted) AFact() {}
+
 // Analyzer is the detrand pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "detrand",
-	Doc:  "forbid global math/rand, time.Now, and sync.Pool in deterministic simulator packages",
-	Run:  run,
+	Name:      "detrand",
+	Doc:       "forbid global math/rand, time.Now, and sync.Pool (directly or through tainted wrappers) in deterministic simulator packages",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*Tainted)(nil)},
 }
 
 // allowedRand lists math/rand selectors that do not touch the global
@@ -60,6 +80,13 @@ var allowedRand = map[string]bool{
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	runDirect(pass)
+	runTaint(pass)
+	return nil, nil
+}
+
+// runDirect flags direct uses of the forbidden entropy sources.
+func runDirect(pass *analysis.Pass) {
 	for _, f := range pass.Files {
 		if pass.TestFile(f.Pos()) {
 			continue
@@ -109,7 +136,121 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			return true
 		})
 	}
-	return nil, nil
+}
+
+// runTaint computes the interprocedural layer: which functions of this
+// package (transitively) touch an entropy source, exporting a Tainted fact
+// for each, and which expressions reference an imported tainted function.
+func runTaint(pass *analysis.Pass) {
+	// reason maps each function declared in this package to the call chain
+	// that taints it ("" = clean so far). Seed with direct source uses and
+	// references to already-tainted imported functions.
+	reason := make(map[*types.Func]string)
+	calls := make(map[*types.Func][]*types.Func) // caller -> same-package callees
+	var decls []*types.Func
+
+	for _, f := range pass.Files {
+		if pass.TestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls = append(decls, fn)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					switch pkgOf(pass, n.X) {
+					case randPkg:
+						if !allowedRand[n.Sel.Name] && reason[fn] == "" {
+							reason[fn] = "rand." + n.Sel.Name
+						}
+					case timePkg:
+						if n.Sel.Name == "Now" && reason[fn] == "" {
+							reason[fn] = "time.Now"
+						}
+					default:
+						if callee, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func); ok {
+							noteCallee(pass, fn, callee, reason, calls)
+						}
+					}
+				case *ast.Ident:
+					if callee, ok := pass.TypesInfo.Uses[n].(*types.Func); ok {
+						noteCallee(pass, fn, callee, reason, calls)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Propagate taint through same-package references to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range decls {
+			if reason[fn] != "" {
+				continue
+			}
+			for _, callee := range calls[fn] {
+				if r := reason[callee]; r != "" {
+					reason[fn] = callee.Name() + " → " + r
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, fn := range decls {
+		if r := reason[fn]; r != "" {
+			pass.ExportObjectFact(fn, &Tainted{Reason: r})
+		}
+	}
+
+	// Diagnose references to tainted functions from other packages. Local
+	// tainted calls are not re-flagged: the root use site in this package
+	// already carries the direct diagnostic.
+	for _, f := range pass.Files {
+		if pass.TestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			callee, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || callee.Pkg() == nil || callee.Pkg() == pass.Pkg {
+				return true
+			}
+			var t Tainted
+			if pass.ImportObjectFact(callee, &t) {
+				pass.Reportf(sel.Pos(),
+					"detrand: %s.%s is tainted by a nondeterministic entropy source (%s); derive randomness from sim.NodeRand / sim.RunSeed and thread sim.Time instead",
+					callee.Pkg().Name(), callee.Name(), t.Reason)
+			}
+			return true
+		})
+	}
+}
+
+// noteCallee records a reference from fn to callee: an edge for the local
+// fixpoint when callee is declared in this package, an immediate taint seed
+// when callee is imported and carries a Tainted fact.
+func noteCallee(pass *analysis.Pass, fn, callee *types.Func, reason map[*types.Func]string, calls map[*types.Func][]*types.Func) {
+	if callee.Pkg() == pass.Pkg {
+		calls[fn] = append(calls[fn], callee)
+		return
+	}
+	var t Tainted
+	if reason[fn] == "" && pass.ImportObjectFact(callee, &t) {
+		reason[fn] = fmt.Sprintf("%s.%s → %s", callee.Pkg().Name(), callee.Name(), t.Reason)
+	}
 }
 
 type pkgKind int

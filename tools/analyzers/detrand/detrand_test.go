@@ -10,3 +10,10 @@ import (
 func TestDetrand(t *testing.T) {
 	analysistest.Run(t, ".", detrand.Analyzer, "a")
 }
+
+// TestDetrandCrossPackage exercises the fact layer end to end: the wrapper
+// package exports Tainted facts, and every diagnostic in the caller package
+// exists only because those facts survived the serialize/decode roundtrip.
+func TestDetrandCrossPackage(t *testing.T) {
+	analysistest.Run(t, ".", detrand.Analyzer, "wrap", "caller")
+}

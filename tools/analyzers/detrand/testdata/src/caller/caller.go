@@ -1,0 +1,28 @@
+// Package caller imports wrap. Every diagnostic in this file exists only
+// because a Tainted fact flowed across the package boundary: nothing here
+// touches time or math/rand directly, so deleting the fact layer makes
+// these wants fail.
+package caller
+
+import "wrap"
+
+// Use calls a transitively tainted wrapper.
+func Use() int64 {
+	return wrap.Stamp() // want `detrand: wrap\.Stamp is tainted by a nondeterministic entropy source \(WallClock → time\.Now\)`
+}
+
+// Direct calls the immediate wrapper.
+func Direct() int64 {
+	return wrap.WallClock() // want `detrand: wrap\.WallClock is tainted by a nondeterministic entropy source \(time\.Now\)`
+}
+
+// Clean calls the entropy-free helper: no diagnostic, no fact.
+func Clean() int64 {
+	return wrap.Pure()
+}
+
+// Deep is tainted through Use; a third package importing caller would see
+// `Deep` carry "Use → wrap.Stamp → WallClock → time.Now".
+func Deep() int64 {
+	return Use()
+}

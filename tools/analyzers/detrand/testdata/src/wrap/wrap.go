@@ -1,0 +1,21 @@
+// Package wrap hides entropy sources behind innocuous-looking helpers —
+// the wrapper loophole the interprocedural taint pass closes.
+package wrap
+
+import "time"
+
+// WallClock wraps time.Now; the direct use is flagged here and the
+// function carries a Tainted fact for importers.
+func WallClock() int64 {
+	return time.Now().UnixNano() // want `detrand: time\.Now reads the wall clock`
+}
+
+// Stamp is tainted transitively through WallClock. The local call is not
+// re-flagged (the root use site above already is), but the fact still
+// propagates to dependents.
+func Stamp() int64 {
+	return WallClock() + 1
+}
+
+// Pure has no entropy dependence and exports no fact.
+func Pure() int64 { return 42 }

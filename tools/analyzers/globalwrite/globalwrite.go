@@ -1,0 +1,134 @@
+// Package globalwrite forbids writing package-level variables from
+// function bodies in the simulator's deterministic packages.
+//
+// Cross-run determinism requires that a run's entire state live in values
+// the caller owns (an engine, a registry it constructed): mutable package
+// state couples runs to each other and to execution order, and becomes a
+// data race the moment ROADMAP's intra-run parallelism lands. Read-only
+// package-level tables, interface-assertion blanks (var _ I = T{}), and
+// sentinel errors are all fine — only assignments, increments, and
+// range-clears targeting a package-scope variable outside init functions
+// are flagged. Writes inside init run once before any engine exists and
+// are exempt (that is how lookup tables are built).
+//
+// Deliberate exceptions are suppressed line by line:
+//
+//	//lint:globalwrite-ok <why this write cannot couple runs>
+//
+// on the write's line or the line above. A bare suppression without a
+// reason is itself a diagnostic. Test files are exempt.
+package globalwrite
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"riseandshine/tools/analyzers/analysis"
+)
+
+// Analyzer is the globalwrite pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalwrite",
+	Doc:  "forbid writes to package-level variables outside init in deterministic simulator packages",
+	Run:  run,
+}
+
+// suppressionMarker introduces a justified global write.
+const suppressionMarker = "lint:globalwrite-ok"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if pass.TestFile(f.Pos()) {
+			continue
+		}
+		supp := collectSuppressions(pass, f)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil && fd.Name.Name == "init" {
+				continue // one-time table building before any run starts
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						report(pass, supp, lhs)
+					}
+				case *ast.IncDecStmt:
+					report(pass, supp, n.X)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// report flags lhs when it names a package-level variable (directly or as
+// the root of a selector/index chain rooted at one).
+func report(pass *analysis.Pass, supp map[int]string, lhs ast.Expr) {
+	id := rootIdent(lhs)
+	if id == nil {
+		return
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return
+	}
+	line := pass.Fset.Position(lhs.Pos()).Line
+	if reason, ok := supp[line]; ok {
+		if reason == "" {
+			pass.Reportf(lhs.Pos(),
+				"globalwrite: suppression %s requires a justification: //%s <reason>", suppressionMarker, suppressionMarker)
+		}
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"globalwrite: write to package-level variable %s couples runs through shared state; move it into an engine- or caller-owned struct, or annotate //%s <reason>",
+		v.Name(), suppressionMarker)
+}
+
+// rootIdent unwraps selector, index, and star chains to the base
+// identifier of an assignable expression. A chain that crosses a pointer
+// dereference is not a write to the variable itself (writing through
+// *globalPtr mutates the pointee, which the pointer's owner controls), so
+// it returns nil for those.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// collectSuppressions maps the source lines covered by
+// //lint:globalwrite-ok comments (the comment's line and the line below)
+// to the reason text.
+func collectSuppressions(pass *analysis.Pass, f *ast.File) map[int]string {
+	covered := make(map[int]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, suppressionMarker)
+			if !ok {
+				continue
+			}
+			line := pass.Fset.Position(c.Pos()).Line
+			covered[line] = strings.TrimSpace(rest)
+			covered[line+1] = covered[line]
+		}
+	}
+	return covered
+}

@@ -1,0 +1,12 @@
+package globalwrite_test
+
+import (
+	"testing"
+
+	"riseandshine/tools/analyzers/analysistest"
+	"riseandshine/tools/analyzers/globalwrite"
+)
+
+func TestGlobalWrite(t *testing.T) {
+	analysistest.Run(t, ".", globalwrite.Analyzer, "a")
+}

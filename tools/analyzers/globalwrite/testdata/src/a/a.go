@@ -1,0 +1,64 @@
+// Package a exercises the globalwrite checks.
+package a
+
+import "errors"
+
+// ErrStopped is a sentinel: declared once, never reassigned — fine.
+var ErrStopped = errors.New("a: stopped")
+
+// sizeTable is built by init: exempt.
+var sizeTable map[string]int
+
+var counter int
+
+var state struct{ runs int }
+
+var hooks []func()
+
+func init() {
+	sizeTable = map[string]int{"event": 48}
+	sizeTable["ctx"] = 32
+}
+
+// Engine owns its state: method writes to fields are fine.
+type Engine struct{ steps int }
+
+// Step mutates owned state.
+func (e *Engine) Step() {
+	e.steps++
+	local := 0
+	local++
+	_ = local
+}
+
+// Bump writes a package-level int.
+func Bump() {
+	counter++ // want `globalwrite: write to package-level variable counter couples runs through shared state`
+}
+
+// Set assigns it.
+func Set(v int) {
+	counter = v // want `globalwrite: write to package-level variable counter couples runs through shared state`
+}
+
+// Track writes a field of a package-level struct.
+func Track() {
+	state.runs = 1 // want `globalwrite: write to package-level variable state couples runs through shared state`
+}
+
+// Index writes an element of a package-level map outside init.
+func Index() {
+	sizeTable["late"] = 1 // want `globalwrite: write to package-level variable sizeTable couples runs through shared state`
+}
+
+// Register documents a deliberate exception.
+func Register(h func()) {
+	//lint:globalwrite-ok process-wide hook list is set up before any run and only read afterwards
+	hooks = append(hooks, h)
+}
+
+// Bare has an unjustified suppression.
+func Bare() {
+	//lint:globalwrite-ok
+	counter = 0 // want `globalwrite: suppression lint:globalwrite-ok requires a justification`
+}

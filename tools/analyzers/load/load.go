@@ -33,6 +33,10 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	TypesInfo  *types.Info
+	// DepOnly marks a package loaded only because a matched package
+	// depends on it: analyzers visit it to compute facts, but its
+	// diagnostics are not reported.
+	DepOnly bool
 	// TypeErrors collects soft type-check errors (the package is still
 	// analyzed best-effort when only some files fail).
 	TypeErrors []error
@@ -115,8 +119,24 @@ func (x *exportIndex) lookup(path string) (io.ReadCloser, error) {
 	return os.Open(file)
 }
 
-// check parses the given files and type-checks them as one package.
-func (x *exportIndex) check(importPath, dir string, filenames []string) (*Package, error) {
+// localImporter resolves imports through a map of already source-checked
+// packages before falling back to compiled export data — the mechanism
+// letting one testdata package import a sibling (see Dirs).
+type localImporter struct {
+	base  types.Importer
+	local map[string]*types.Package
+}
+
+func (i localImporter) Import(path string) (*types.Package, error) {
+	if p := i.local[path]; p != nil {
+		return p, nil
+	}
+	return i.base.Import(path)
+}
+
+// check parses the given files and type-checks them as one package. local
+// may supply source-checked packages that shadow export data.
+func (x *exportIndex) check(importPath, dir string, filenames []string, local map[string]*types.Package) (*Package, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range filenames {
@@ -139,7 +159,7 @@ func (x *exportIndex) check(importPath, dir string, filenames []string) (*Packag
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
 	conf := types.Config{
-		Importer: importer.ForCompiler(fset, "gc", x.lookup),
+		Importer: localImporter{base: importer.ForCompiler(fset, "gc", x.lookup), local: local},
 		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
 	}
 	tpkg, err := conf.Check(importPath, fset, files, info)
@@ -152,9 +172,13 @@ func (x *exportIndex) check(importPath, dir string, filenames []string) (*Packag
 }
 
 // Packages loads, parses, and type-checks the packages matched by the
-// given go list patterns, resolved relative to dir. Only matched packages
-// are returned (dependencies contribute export data only); test files are
-// not included, matching the analyzers' test-file exemption.
+// given go list patterns, resolved relative to dir, plus every non-stdlib
+// dependency. Results come back in dependency order (dependencies before
+// dependents, as `go list -deps` guarantees), so a driver that analyzes
+// them in sequence sees every imported package's facts before the
+// importer. Unmatched dependencies carry DepOnly; standard-library
+// packages contribute export data only. Test files are not included,
+// matching the analyzers' test-file exemption.
 func Packages(dir string, patterns ...string) ([]*Package, error) {
 	x := newExportIndex(dir)
 	listed, err := x.goList(append([]string{"--"}, patterns...)...)
@@ -163,7 +187,7 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 	}
 	var out []*Package
 	for _, p := range listed {
-		if p.Standard || p.DepOnly {
+		if p.Standard {
 			continue
 		}
 		if p.Error != nil {
@@ -172,10 +196,11 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 		if len(p.GoFiles) == 0 {
 			continue
 		}
-		pkg, err := x.check(p.ImportPath, p.Dir, p.GoFiles)
+		pkg, err := x.check(p.ImportPath, p.Dir, p.GoFiles, nil)
 		if err != nil {
 			return nil, err
 		}
+		pkg.DepOnly = p.DepOnly
 		out = append(out, pkg)
 	}
 	return out, nil
@@ -186,20 +211,44 @@ func Packages(dir string, patterns ...string) ([]*Package, error) {
 // uses this for testdata packages, which the go tool would refuse to
 // enumerate. Imports are resolved to compiled export data on demand.
 func Dir(dir string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
+	pkgs, err := Dirs(filepath.Dir(dir), filepath.Base(dir))
 	if err != nil {
-		return nil, fmt.Errorf("load: %v", err)
+		return nil, err
 	}
-	var filenames []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			filenames = append(filenames, e.Name())
+	return pkgs[0], nil
+}
+
+// Dirs loads the packages rooted at root/<name> for each name, in order,
+// each importable by the ones after it under its bare name — the shape of
+// a multi-package testdata module (an annotated caller in package `use`
+// importing an allocating callee `import "dep"`). Imports not among the
+// earlier names resolve to compiled export data.
+func Dirs(root string, names ...string) ([]*Package, error) {
+	x := newExportIndex(root)
+	local := make(map[string]*types.Package)
+	var out []*Package
+	for _, name := range names {
+		dir := filepath.Join(root, name)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
 		}
+		var filenames []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				filenames = append(filenames, e.Name())
+			}
+		}
+		if len(filenames) == 0 {
+			return nil, fmt.Errorf("load: no Go files in %s", dir)
+		}
+		sort.Strings(filenames)
+		pkg, err := x.check(name, dir, filenames, local)
+		if err != nil {
+			return nil, err
+		}
+		local[name] = pkg.Types
+		out = append(out, pkg)
 	}
-	if len(filenames) == 0 {
-		return nil, fmt.Errorf("load: no Go files in %s", dir)
-	}
-	sort.Strings(filenames)
-	x := newExportIndex(dir)
-	return x.check(filepath.Base(dir), dir, filenames)
+	return out, nil
 }

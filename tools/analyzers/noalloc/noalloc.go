@@ -1,0 +1,664 @@
+// Package noalloc verifies the simulator's zero-allocation contracts
+// statically.
+//
+// A function or method annotated //wakeup:noalloc in its doc comment
+// promises that its steady-state execution performs no heap allocation —
+// the property the runtime tests pin with testing.AllocsPerRun on the
+// event-loop hot paths. This analyzer proves the promise at the AST level:
+// the annotated function, and every same-package function it transitively
+// calls, must be free of visible allocation sites:
+//
+//   - make, new, slice literals, map literals;
+//   - append (the backing array may grow);
+//   - taking the address of a composite literal (it may escape);
+//   - interface boxing: converting a non-pointer-shaped value to an
+//     interface type, explicitly or at a call boundary (this is how
+//     fmt.Sprintf("%d", n) allocates before fmt even runs);
+//   - variadic calls (the argument slice);
+//   - string concatenation and string<->[]byte/[]rune conversions;
+//   - function literals (closure capture) and method values;
+//   - go statements (the goroutine);
+//   - calls that cannot be proven allocation-free: function values, and
+//     imported functions without an AllocFree fact.
+//
+// The proof is interprocedural. Every function of every analyzed package
+// gets an allocation verdict by optimistic (greatest) fixpoint — mutual
+// recursion with no intrinsic allocation site is allocation-free — and
+// proven functions carry an AllocFree fact in the package's serialized
+// fact set. A //wakeup:noalloc caller in a downstream package may
+// therefore call an imported helper exactly when the helper's own package
+// proved it clean; removing the fact layer turns every such call into a
+// diagnostic.
+//
+// Annotating an interface method makes the annotation a contract:
+// every concrete type implementing the interface — in any analyzed
+// package — must have an allocation-free implementation (the method
+// carries a NoAllocContract fact, and each package checks its own types
+// against all contracts visible through its imports), and in exchange
+// calls through the interface are accepted in allocation-free code.
+//
+// Deliberate amortized allocations (a slice that doubles a few times and
+// then never again) are suppressed line by line:
+//
+//	//lint:noalloc-ok <why the allocation is amortized or one-time>
+//
+// on the allocation's line or the line above. A bare suppression without a
+// reason is itself a diagnostic. Test files are exempt.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"runtime"
+	"strings"
+
+	"riseandshine/tools/analyzers/analysis"
+)
+
+// AllocFree marks a function proven free of heap allocation (modulo
+// explicitly suppressed amortized sites). Exported for every proven
+// function so dependent packages can call it from //wakeup:noalloc code.
+type AllocFree struct{}
+
+// AFact marks AllocFree as a serializable fact.
+func (*AllocFree) AFact() {}
+
+// NoAllocContract marks a function or interface method annotated
+// //wakeup:noalloc: implementations (for interface methods) must verify,
+// and calls through it are accepted in allocation-free code.
+type NoAllocContract struct{}
+
+// AFact marks NoAllocContract as a serializable fact.
+func (*NoAllocContract) AFact() {}
+
+// Analyzer is the noalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "noalloc",
+	Doc:       "verify //wakeup:noalloc functions (and everything they transitively call) free of allocation sites",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*AllocFree)(nil), (*NoAllocContract)(nil)},
+}
+
+// annotationMarker is the doc-comment annotation establishing the contract.
+const annotationMarker = "wakeup:noalloc"
+
+// suppressionMarker introduces a justified amortized-allocation exception.
+const suppressionMarker = "lint:noalloc-ok"
+
+// sizes approximates gc layout for the zero-size-boxing exemption
+// (boxing a zero-size value reuses the runtime's zerobase, no allocation).
+var sizes = func() types.Sizes {
+	if s := types.SizesFor("gc", runtime.GOARCH); s != nil {
+		return s
+	}
+	return &types.StdSizes{WordSize: 8, MaxAlign: 8}
+}()
+
+// site is one intrinsic allocation site inside a function body.
+type site struct {
+	pos token.Pos
+	msg string
+}
+
+// callEdge is a reference to a function declared in the same package.
+type callEdge struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// fnInfo is the scan result for one declared function.
+type fnInfo struct {
+	decl      *ast.FuncDecl
+	sites     []site
+	calls     []callEdge
+	annotated bool
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	s := &state{
+		pass:      pass,
+		fns:       make(map[*types.Func]*fnInfo),
+		contracts: make(map[*types.Func]bool),
+	}
+	s.collectInterfaceContracts()
+	for _, f := range pass.Files {
+		if pass.TestFile(f.Pos()) {
+			continue
+		}
+		supp := s.collectSuppressions(f)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := &fnInfo{decl: fd, annotated: hasAnnotation(fd.Doc)}
+			(&scanner{state: s, info: info, suppressions: supp}).scan(fd.Body)
+			s.fns[fn] = info
+		}
+	}
+
+	verdict := s.fixpoint()
+	required := s.requiredSet()
+
+	for fn, info := range s.fns {
+		if !required[fn] {
+			continue
+		}
+		for _, st := range info.sites {
+			pass.Reportf(st.pos,
+				"noalloc: %s in //wakeup:noalloc code; restructure, or annotate //%s <reason> if amortized", st.msg, suppressionMarker)
+		}
+	}
+	for fn, info := range s.fns {
+		if verdict[fn] {
+			pass.ExportObjectFact(fn, &AllocFree{})
+		}
+		if info.annotated {
+			pass.ExportObjectFact(fn, &NoAllocContract{})
+		}
+	}
+	for m := range s.contracts {
+		if m.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(m, &NoAllocContract{})
+		}
+	}
+	return nil, nil
+}
+
+// state accumulates per-package analysis results.
+type state struct {
+	pass *analysis.Pass
+	fns  map[*types.Func]*fnInfo
+	// contracts holds interface methods annotated //wakeup:noalloc in this
+	// package (exported as NoAllocContract facts; imported contract methods
+	// are consulted via ImportObjectFact/AllObjectFacts instead).
+	contracts map[*types.Func]bool
+}
+
+// hasAnnotation reports whether a comment group carries //wakeup:noalloc.
+func hasAnnotation(groups ...*ast.CommentGroup) bool {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == annotationMarker {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectInterfaceContracts finds //wakeup:noalloc-annotated methods of
+// package-level interface declarations.
+func (s *state) collectInterfaceContracts() {
+	for _, f := range s.pass.Files {
+		if s.pass.TestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			it, ok := n.(*ast.InterfaceType)
+			if !ok {
+				return true
+			}
+			for _, field := range it.Methods.List {
+				if len(field.Names) == 0 || !hasAnnotation(field.Doc, field.Comment) {
+					continue
+				}
+				if m, ok := s.pass.TypesInfo.Defs[field.Names[0]].(*types.Func); ok {
+					s.contracts[m] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectSuppressions maps the source lines covered by //lint:noalloc-ok
+// comments (the comment's line and the line below it) to the reason text.
+// A covered line with an empty reason is diagnosed at the suppressed site.
+func (s *state) collectSuppressions(f *ast.File) map[int]string {
+	covered := make(map[int]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, suppressionMarker)
+			if !ok {
+				continue
+			}
+			line := s.pass.Fset.Position(c.Pos()).Line
+			covered[line] = strings.TrimSpace(rest)
+			covered[line+1] = covered[line]
+		}
+	}
+	return covered
+}
+
+// fixpoint computes the allocation-free verdict for every declared
+// function: optimistically assume every function with no intrinsic site is
+// clean, then demote functions whose same-package callees fail, until
+// stable. Recursion with no intrinsic sites therefore verifies.
+func (s *state) fixpoint() map[*types.Func]bool {
+	verdict := make(map[*types.Func]bool, len(s.fns))
+	for fn, info := range s.fns {
+		verdict[fn] = len(info.sites) == 0
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, info := range s.fns {
+			if !verdict[fn] {
+				continue
+			}
+			for _, e := range info.calls {
+				if clean, declared := verdict[e.callee], s.fns[e.callee] != nil; declared && !clean {
+					verdict[fn] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return verdict
+}
+
+// requiredSet returns the functions that must be allocation-free: the
+// annotated ones, local implementations of //wakeup:noalloc interface
+// contracts (local or imported), and everything those transitively call
+// within the package.
+func (s *state) requiredSet() map[*types.Func]bool {
+	required := make(map[*types.Func]bool)
+	var mark func(fn *types.Func)
+	mark = func(fn *types.Func) {
+		if required[fn] || s.fns[fn] == nil {
+			return
+		}
+		required[fn] = true
+		for _, e := range s.fns[fn].calls {
+			mark(e.callee)
+		}
+	}
+	for fn, info := range s.fns {
+		if info.annotated {
+			mark(fn)
+		}
+	}
+	for m := range s.contracts {
+		for _, impl := range s.implementations(m) {
+			mark(impl)
+		}
+	}
+	for _, of := range s.pass.AllObjectFacts() {
+		if _, ok := of.Fact.(*NoAllocContract); !ok {
+			continue
+		}
+		m, ok := of.Object.(*types.Func)
+		if !ok || !interfaceMethod(m) {
+			continue
+		}
+		for _, impl := range s.implementations(m) {
+			mark(impl)
+		}
+	}
+	return required
+}
+
+// interfaceMethod reports whether f is a method declared on an interface.
+func interfaceMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+}
+
+// implementations finds this package's concrete methods satisfying the
+// interface method m's contract.
+func (s *state) implementations(m *types.Func) []*types.Func {
+	iface := declaringInterface(m)
+	if iface == nil {
+		return nil
+	}
+	var out []*types.Func
+	scope := s.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || types.IsInterface(tn.Type()) {
+			continue
+		}
+		recv := types.Type(types.NewPointer(tn.Type()))
+		if !types.Implements(recv, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, s.pass.Pkg, m.Name())
+		if f, ok := obj.(*types.Func); ok && f.Pkg() == s.pass.Pkg {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// declaringInterface finds the *types.Interface whose explicit method set
+// contains m, searching m's package scope.
+func declaringInterface(m *types.Func) *types.Interface {
+	pkg := m.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		iface, ok := tn.Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		for i := 0; i < iface.NumMethods(); i++ {
+			if sameMethod(iface.Method(i), m) {
+				return iface
+			}
+		}
+	}
+	return nil
+}
+
+// sameMethod matches interface methods by identity or by (package, name) —
+// the latter because an imported method resolved from facts and the one in
+// the scope's interface may be distinct objects for embedded interfaces.
+func sameMethod(a, b *types.Func) bool {
+	return a == b || (a.Name() == b.Name() && a.Pkg() == b.Pkg())
+}
+
+// scanner walks one function body recording intrinsic allocation sites and
+// same-package call edges.
+type scanner struct {
+	*state
+	info         *fnInfo
+	suppressions map[int]string
+	// callFuns marks expressions appearing as a call's Fun, so selectors
+	// resolving to methods are not double-counted as method values.
+	callFuns map[ast.Expr]bool
+}
+
+func (sc *scanner) scan(body *ast.BlockStmt) {
+	sc.callFuns = make(map[ast.Expr]bool)
+	ast.Inspect(body, sc.visit)
+}
+
+// add records an allocation site unless a suppression covers its line; a
+// suppression without a justification is itself diagnosed (once, at the
+// site it covers), mirroring the maporder grammar.
+func (sc *scanner) add(pos token.Pos, msg string) {
+	if reason, ok := sc.suppressions[sc.pass.Fset.Position(pos).Line]; ok {
+		if reason == "" {
+			sc.pass.Reportf(pos,
+				"noalloc: suppression %s requires a justification: //%s <reason>", suppressionMarker, suppressionMarker)
+		}
+		return
+	}
+	sc.info.sites = append(sc.info.sites, site{pos: pos, msg: msg})
+}
+
+func (sc *scanner) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		sc.add(n.Pos(), "function literal allocates a closure")
+		return false // the literal's body is the closure's problem
+	case *ast.GoStmt:
+		sc.add(n.Pos(), "go statement allocates a goroutine")
+	case *ast.CompositeLit:
+		switch sc.pass.TypesInfo.TypeOf(n).Underlying().(type) {
+		case *types.Slice:
+			sc.add(n.Pos(), "slice literal allocates its backing array")
+		case *types.Map:
+			sc.add(n.Pos(), "map literal allocates")
+		}
+	case *ast.UnaryExpr:
+		if lit, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+			switch sc.pass.TypesInfo.TypeOf(lit).Underlying().(type) {
+			case *types.Struct, *types.Array:
+				sc.add(n.Pos(), "address of composite literal may escape to the heap")
+			}
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && sc.pass.TypesInfo.Types[n].Value == nil {
+			if t, ok := sc.pass.TypesInfo.TypeOf(n).Underlying().(*types.Basic); ok && t.Info()&types.IsString != 0 {
+				sc.add(n.Pos(), "string concatenation allocates")
+			}
+		}
+	case *ast.CallExpr:
+		sc.callFuns[n.Fun] = true
+		sc.visitCall(n)
+	case *ast.SelectorExpr:
+		if sc.callFuns[n] {
+			return true
+		}
+		if f, ok := sc.pass.TypesInfo.Uses[n.Sel].(*types.Func); ok {
+			if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+				sc.add(n.Pos(), "method value allocates a closure")
+			}
+		}
+	}
+	return true
+}
+
+// visitCall classifies one call expression: conversion, builtin, static
+// call (local edge, contract, or fact-proven import), interface-contract
+// call, or unprovable; then checks argument passing for boxing. A
+// suppression on the call's line accepts the whole call — including the
+// callee's transitive behavior — so one-time or amortized calls
+// (constructing a node generator on first wake) can be waved through at
+// the call site without annotating the callee.
+func (sc *scanner) visitCall(call *ast.CallExpr) {
+	if reason, ok := sc.suppressions[sc.pass.Fset.Position(call.Pos()).Line]; ok {
+		if reason == "" {
+			sc.add(call.Pos(), "") // routes through the bare-suppression diagnostic
+		}
+		return
+	}
+	if sc.pass.TypesInfo.Types[call.Fun].IsType() {
+		sc.visitConversion(call)
+		return
+	}
+	fun := ast.Unparen(call.Fun)
+	var callee *types.Func
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		switch obj := sc.pass.TypesInfo.Uses[fun].(type) {
+		case *types.Builtin:
+			sc.visitBuiltin(obj.Name(), call)
+			return
+		case *types.Func:
+			callee = obj
+		default:
+			sc.add(call.Pos(), "call through a function value cannot be proven allocation-free")
+			return
+		}
+	case *ast.SelectorExpr:
+		switch obj := sc.pass.TypesInfo.Uses[fun.Sel].(type) {
+		case *types.Builtin: // unsafe.Sizeof and friends
+			return
+		case *types.Func:
+			callee = obj
+		default:
+			sc.add(call.Pos(), "call through a function value cannot be proven allocation-free")
+			return
+		}
+	case *ast.FuncLit:
+		// Already flagged as a closure by visit; nothing further to prove.
+		return
+	default:
+		sc.add(call.Pos(), "call through a function value cannot be proven allocation-free")
+		return
+	}
+	sc.visitArgs(call)
+	switch {
+	case interfaceMethod(callee):
+		var contract NoAllocContract
+		if sc.contracts[callee] || sc.pass.ImportObjectFact(callee, &contract) {
+			return // contract: all implementations are verified in their packages
+		}
+		sc.add(call.Pos(), "call through interface method "+callee.Name()+" not covered by a //wakeup:noalloc contract")
+	case callee.Pkg() == sc.pass.Pkg:
+		sc.info.calls = append(sc.info.calls, callEdge{callee: callee, pos: call.Pos()})
+	default:
+		if pureValuePackage(callee.Pkg()) {
+			return
+		}
+		var proven AllocFree
+		var contract NoAllocContract
+		if sc.pass.ImportObjectFact(callee, &proven) || sc.pass.ImportObjectFact(callee, &contract) {
+			return
+		}
+		sc.add(call.Pos(), "call to "+qualifiedName(callee)+" not proven allocation-free")
+	}
+}
+
+// pureValuePackage reports whether pkg is a standard-library package whose
+// exported functions and methods operate on values in place and never
+// allocate (atomic operations, float bit-twiddling, bit counting). The
+// analyzer computes no facts for the standard library — it is loaded from
+// export data only — so these calls are accepted by name.
+func pureValuePackage(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "sync/atomic", "math", "math/bits":
+		return true
+	}
+	return false
+}
+
+// visitBuiltin flags the allocating builtins.
+func (sc *scanner) visitBuiltin(name string, call *ast.CallExpr) {
+	switch name {
+	case "make":
+		sc.add(call.Pos(), "make allocates")
+	case "new":
+		sc.add(call.Pos(), "new allocates")
+	case "append":
+		sc.add(call.Pos(), "append may grow its backing array")
+	}
+}
+
+// visitConversion flags allocating conversions: interface boxing and
+// string<->byte/rune-slice copies.
+func (sc *scanner) visitConversion(call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	target := sc.pass.TypesInfo.TypeOf(call)
+	argType := sc.pass.TypesInfo.TypeOf(arg)
+	if target == nil || argType == nil {
+		return
+	}
+	if boxes(argType, target, sc.pass.TypesInfo.Types[arg].Value != nil) {
+		sc.add(call.Pos(), "conversion to interface boxes "+argType.String())
+		return
+	}
+	tb, _ := target.Underlying().(*types.Basic)
+	ab, _ := argType.Underlying().(*types.Basic)
+	switch {
+	case tb != nil && tb.Info()&types.IsString != 0 && isByteOrRuneSlice(argType):
+		sc.add(call.Pos(), "conversion from "+argType.String()+" to string allocates")
+	case ab != nil && ab.Info()&types.IsString != 0 && isByteOrRuneSlice(target):
+		sc.add(call.Pos(), "conversion from string to "+target.String()+" allocates")
+	}
+}
+
+// visitArgs checks argument passing: boxing into interface parameters and
+// the slice allocated by a variadic call.
+func (sc *scanner) visitArgs(call *ast.CallExpr) {
+	sig, ok := sc.pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= np {
+		sc.add(call.Pos(), "variadic call allocates its argument slice")
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis != token.NoPos {
+				continue // the slice is passed through, nothing is boxed
+			}
+			param = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		argType := sc.pass.TypesInfo.TypeOf(arg)
+		if argType == nil {
+			continue
+		}
+		if boxes(argType, param, sc.pass.TypesInfo.Types[arg].Value != nil) {
+			sc.add(arg.Pos(), "passing "+argType.String()+" as "+param.String()+" boxes it")
+		}
+	}
+}
+
+// boxes reports whether passing a value of type from as type to heap-boxes
+// it: to is an interface, from is not, and from is neither pointer-shaped
+// (the value fits the interface word directly), constant (the compiler
+// materializes it statically), nor zero-size (the runtime's zerobase).
+func boxes(from, to types.Type, constant bool) bool {
+	if to == nil || !types.IsInterface(to) || types.IsInterface(from) {
+		return false
+	}
+	if constant || pointerShaped(from) {
+		return false
+	}
+	if sz := sizes.Sizeof(from); sz == 0 {
+		return false
+	}
+	return true
+}
+
+// pointerShaped reports whether values of t occupy exactly one pointer
+// word, so interface conversion stores them directly without allocating.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+// isByteOrRuneSlice reports whether t is []byte or []rune.
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// qualifiedName renders pkg.Func or pkg.Type.Method for diagnostics.
+func qualifiedName(f *types.Func) string {
+	name := f.Name()
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Name() + "." + name
+	}
+	return name
+}

@@ -1,0 +1,20 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"riseandshine/tools/analyzers/analysistest"
+	"riseandshine/tools/analyzers/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, ".", noalloc.Analyzer, "a")
+}
+
+// TestNoallocCrossPackage proves the fact layer does the work: dep's
+// AllocFree and NoAllocContract facts are serialized, decoded into use's
+// pass, and drive both the accepted dep.Fast call and the required
+// BadCodec.Size verification.
+func TestNoallocCrossPackage(t *testing.T) {
+	analysistest.Run(t, ".", noalloc.Analyzer, "dep", "use")
+}

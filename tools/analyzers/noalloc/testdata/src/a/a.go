@@ -1,0 +1,173 @@
+// Package a exercises the single-package noalloc checks: every visible
+// allocation kind, the suppression grammar, transitive requirements, and
+// the interface-method contract.
+package a
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Sink is a contract interface: Push must never allocate, in any
+// implementation, anywhere.
+type Sink interface {
+	// Push appends one value into preallocated storage.
+	//
+	//wakeup:noalloc
+	Push(v int)
+}
+
+// GoodSink implements Sink without allocating.
+type GoodSink struct {
+	buf [8]int
+	n   int
+}
+
+// Push stores into the fixed buffer.
+func (s *GoodSink) Push(v int) {
+	if s.n < len(s.buf) {
+		s.buf[s.n] = v
+		s.n++
+	}
+}
+
+// BadSink violates the Sink contract with a growing slice.
+type BadSink struct{ buf []int }
+
+// Push grows.
+func (s *BadSink) Push(v int) {
+	s.buf = append(s.buf, v) // want `noalloc: append may grow its backing array`
+}
+
+// Hot is an annotated entry point: calls through the Sink contract are
+// accepted, and helper is pulled into the allocation-free set.
+//
+//wakeup:noalloc
+func Hot(s Sink, vs []int) int {
+	total := 0
+	for _, v := range vs {
+		s.Push(v)
+		total += helper(v)
+	}
+	return total
+}
+
+// helper is required transitively through Hot.
+func helper(v int) int {
+	if v < 0 {
+		return len(make([]int, -v)) // want `noalloc: make allocates`
+	}
+	return v
+}
+
+// Literals shows the composite-literal sites.
+//
+//wakeup:noalloc
+func Literals() int {
+	xs := []int{1, 2, 3} // want `noalloc: slice literal allocates its backing array`
+	m := map[int]int{}   // want `noalloc: map literal allocates`
+	return len(xs) + len(m)
+}
+
+// Convert shows new and the string/byte-slice copies.
+//
+//wakeup:noalloc
+func Convert(s string) []byte {
+	p := new(int) // want `noalloc: new allocates`
+	_ = p
+	return []byte(s) // want `noalloc: conversion from string to \[\]byte allocates`
+}
+
+// Concat allocates the joined string.
+//
+//wakeup:noalloc
+func Concat(a, b string) string {
+	return a + b // want `noalloc: string concatenation allocates`
+}
+
+// Closure captures n.
+//
+//wakeup:noalloc
+func Closure(n int) func() int {
+	return func() int { return n } // want `noalloc: function literal allocates a closure`
+}
+
+// T carries a method used as a value.
+type T struct{}
+
+// M does nothing.
+func (T) M() {}
+
+// MethodValue binds a receiver.
+//
+//wakeup:noalloc
+func MethodValue(t T) func() {
+	return t.M // want `noalloc: method value allocates a closure`
+}
+
+func tick() {}
+
+// Spawn starts a goroutine.
+//
+//wakeup:noalloc
+func Spawn() {
+	go tick() // want `noalloc: go statement allocates a goroutine`
+}
+
+// Plain is not a contract interface: calls through it are unprovable.
+type Plain interface{ Do() }
+
+// CallsPlain cannot rely on any implementation being clean.
+//
+//wakeup:noalloc
+func CallsPlain(p Plain) {
+	p.Do() // want `noalloc: call through interface method Do not covered by a //wakeup:noalloc contract`
+}
+
+func variadicSink(vs ...interface{}) {}
+
+// CallsVariadic allocates the argument slice and boxes the int.
+//
+//wakeup:noalloc
+func CallsVariadic(n int) {
+	variadicSink(n) // want `noalloc: variadic call allocates its argument slice` `noalloc: passing int as interface\{\} boxes it`
+}
+
+// Amortized documents a deliberate growth site: suppressed, no diagnostic,
+// and the function still verifies (and exports AllocFree).
+//
+//wakeup:noalloc
+func Amortized(buf []int, v int) []int {
+	//lint:noalloc-ok doubles a bounded number of times then stays flat
+	return append(buf, v)
+}
+
+// Bare carries a suppression with no reason: the grammar violation is
+// diagnosed even outside any contract.
+func Bare(buf []int, v int) []int {
+	//lint:noalloc-ok
+	return append(buf, v) // want `noalloc: suppression lint:noalloc-ok requires a justification`
+}
+
+// Recurse verifies despite the cycle: optimistic fixpoint, no intrinsic
+// sites.
+//
+//wakeup:noalloc
+func Recurse(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n + Recurse(n-1)
+}
+
+// Unannotated allocates freely: not part of any contract, no diagnostics.
+func Unannotated(n int) []int { return make([]int, n) }
+
+// PureStdlib calls into the pure-value standard-library packages
+// (sync/atomic, math, math/bits): accepted without facts, no diagnostics.
+//
+//wakeup:noalloc
+func PureStdlib(c *atomic.Uint64, v float64) float64 {
+	c.Add(1)
+	return math.Float64frombits(c.Load()) + math.Sqrt(v)
+}

@@ -1,0 +1,28 @@
+// Package dep is the dependency side of the cross-package fixture: Fast
+// is proven allocation-free (and exported as an AllocFree fact), Slow is
+// not, and Codec.Size is a //wakeup:noalloc contract every implementing
+// package must honor.
+package dep
+
+// Fast is arithmetic only; its AllocFree fact lets annotated callers in
+// dependent packages use it.
+func Fast(v int) int { return v*2 + 1 }
+
+// Slow allocates and exports no fact.
+func Slow(v int) []int { return make([]int, v) }
+
+// Codec is a contract interface consumed across packages.
+type Codec interface {
+	// Size reports the encoded size without allocating.
+	//
+	//wakeup:noalloc
+	Size() int
+}
+
+// Encode drives any Codec from allocation-free code: the contract makes
+// the interface call acceptable.
+//
+//wakeup:noalloc
+func Encode(c Codec) int {
+	return c.Size()
+}

@@ -1,0 +1,32 @@
+// Package use is the dependent side of the cross-package fixture. Every
+// verdict here depends on facts serialized by dep's analysis: the call to
+// dep.Fast is accepted only because its AllocFree fact crossed the package
+// boundary, and BadCodec.Size is required to verify only because the
+// Codec.Size contract fact did.
+package use
+
+import "dep"
+
+// Entry is annotated; dep.Fast is fine, dep.Slow is not.
+//
+//wakeup:noalloc
+func Entry(v int) int {
+	x := dep.Fast(v)
+	_ = dep.Slow(v) // want `noalloc: call to dep\.Slow not proven allocation-free`
+	return x
+}
+
+// BadCodec implements dep.Codec with an allocating Size: the imported
+// contract fact pulls it into the allocation-free set.
+type BadCodec struct{ data []byte }
+
+// Size converts needlessly.
+func (c BadCodec) Size() int {
+	return len(string(c.data)) // want `noalloc: conversion from \[\]byte to string allocates`
+}
+
+// GoodCodec implements dep.Codec cleanly: no diagnostics.
+type GoodCodec struct{ n int }
+
+// Size is a field read.
+func (c GoodCodec) Size() int { return c.n }
