@@ -568,6 +568,53 @@ func BenchmarkRunAsyncMetrics(b *testing.B) {
 	})
 }
 
+// BenchmarkRunSharded measures the conservative parallel engine across
+// shard counts on one dense and two sparse 10⁵⁺-node workloads, with a
+// prebuilt Setup and a reused engine per shard count. shards:1 takes the
+// sequential fallback and is the baseline the speedup curve divides by;
+// results are byte-identical at every count (TestShardedByteIdentical), so
+// the deltas are pure scheduling. The delay adversary carries a 0.25
+// lookahead — windows a quarter of τ wide — since zero-lookahead delays
+// admit no conservative parallelism at all.
+func BenchmarkRunSharded(b *testing.B) {
+	for _, spec := range []string{"complete:2000", "gnp:100000:0.0001", "torus:400x400"} {
+		g, err := experiment.ParseGraph(spec, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		model := sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}
+		setup, err := sim.NewSetup(g, nil, model, 0, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards:%d", spec, p), func(b *testing.B) {
+				b.ReportAllocs()
+				eng := &sim.ShardedEngine{}
+				events := 0
+				for i := 0; i < b.N; i++ {
+					res, err := eng.Run(sim.Config{
+						Graph: g,
+						Model: model,
+						Adversary: sim.Adversary{
+							Schedule: sim.WakeAll{},
+							Delays:   sim.RandomDelay{Seed: int64(i), Min: 0.25},
+						},
+						Seed:   int64(i),
+						Setup:  setup,
+						Shards: p,
+					}, core.Flood{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					events += res.Events
+				}
+				b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+			})
+		}
+	}
+}
+
 // BenchmarkRunner measures harness scaling: a fixed 16-run matrix executed
 // at increasing worker counts. ns/op is the wall time of the full matrix;
 // the complexity metrics are identical across worker counts by

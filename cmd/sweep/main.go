@@ -17,6 +17,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // /debug/pprof on the -http listener
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -46,7 +47,8 @@ func run() error {
 		seeds    = flag.Int("seeds", 3, "seeds per size")
 		seed     = flag.Int64("seed", 1, "master seed; run i derives its seed from (seed, i)")
 		k        = flag.Int("k", 0, "spanner parameter")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = NumCPU, divided by -shards)")
+		shards   = flag.Int("shards", 0, "run each cell on the sharded engine with this many partitions (byte-identical results; needs a positive-lookahead delay adversary, e.g. unit or random:MIN)")
 		csvPath  = flag.String("csv", "", "write the sweep as CSV to this path (optional)")
 		digest   = flag.Bool("digest", false, "print one combined FNV transcript digest per size (byte-identical across hosts and worker counts)")
 
@@ -100,10 +102,20 @@ func run() error {
 				Metrics:       recordMetrics,
 				Queue:         queueKind,
 				MemReport:     *mem,
+				Shards:        *shards,
 			})
 		}
 	}
-	runner := experiment.Runner{Workers: *workers, MasterSeed: *seed, Now: time.Now}
+	// The core budget is split between the two parallelism axes: with
+	// -shards S and default workers, each of NumCPU/S workers drives an
+	// S-core sharded run, so the sweep never oversubscribes the machine.
+	poolWorkers := *workers
+	if poolWorkers == 0 && *shards > 1 {
+		if poolWorkers = runtime.NumCPU() / *shards; poolWorkers < 1 {
+			poolWorkers = 1
+		}
+	}
+	runner := experiment.Runner{Workers: poolWorkers, MasterSeed: *seed, Now: time.Now}
 
 	// Live observability: sweep-level counters plus every finished run's
 	// snapshot merged in, exposed over HTTP while the sweep runs. The live
@@ -207,16 +219,20 @@ func run() error {
 		// Seed 0's report per size: the footprint is a function of the
 		// topology and traffic, not the seed, up to hash-dependent in-flight
 		// population — one sample per size is representative.
-		memTbl := &experiment.Table{Header: []string{"n", "queue", "total", "queue-bytes", "fifo", "rng", "csr", "nodes"}}
+		memTbl := &experiment.Table{Header: []string{"n", "queue", "shards", "total", "queue-bytes", "fifo", "rng", "csr", "nodes", "outbox"}}
 		for i, n := range sizes {
 			m := results[i*(*seeds)].Res.Mem
 			if m == nil {
 				continue
 			}
-			memTbl.Add(n, m.Queue, riseandshine.FormatBytes(m.TotalBytes),
+			shardsCol := m.Shards
+			if shardsCol < 1 {
+				shardsCol = 1
+			}
+			memTbl.Add(n, m.Queue, shardsCol, riseandshine.FormatBytes(m.TotalBytes),
 				riseandshine.FormatBytes(m.QueueBytes), riseandshine.FormatBytes(m.FIFOBytes),
 				riseandshine.FormatBytes(m.RNGBytes), riseandshine.FormatBytes(m.CSRBytes),
-				riseandshine.FormatBytes(m.NodeBytes))
+				riseandshine.FormatBytes(m.NodeBytes), riseandshine.FormatBytes(m.OutboxBytes))
 		}
 		fmt.Println()
 		fmt.Print(memTbl)

@@ -34,6 +34,7 @@ func run() error {
 		awake     = flag.String("awake", "single", "wake schedule: single[:v] | all | dominating | random:k[:window] | staggered:s1,s2,..:gap")
 		delays    = flag.String("delays", "unit", "delay adversary: unit | random")
 		seed      = flag.Int64("seed", 1, "random seed")
+		shards    = flag.Int("shards", 0, "partition the run across this many cores (sharded engine; byte-identical results, needs a delay adversary with positive lookahead)")
 		k         = flag.Int("k", 0, "spanner stretch parameter (spanner scheme; 0 = Corollary 2)")
 		randPorts = flag.Bool("randports", true, "use adversarial random port mappings")
 		list      = flag.Bool("list", false, "list registered algorithms and exit")
@@ -83,6 +84,7 @@ func run() error {
 		Delays:    delayer,
 		Ports:     ports,
 		Seed:      *seed,
+		Shards:    *shards,
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

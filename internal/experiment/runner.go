@@ -51,6 +51,12 @@ type RunSpec struct {
 	// footprint. Diagnostic only — leave off when Results are compared
 	// byte-for-byte.
 	MemReport bool
+	// Shards, when > 1, runs each cell on the sharded engine with that many
+	// partitions. Results are byte-identical to the sequential engine, so
+	// the field — like Queue — never changes a sweep's output, only how the
+	// core budget is spent: prefer sweep-level parallelism (Workers) for
+	// many small runs and shards for a few huge ones.
+	Shards int
 }
 
 // RunResult pairs one completed run with the seed it used and the graph it
@@ -171,14 +177,17 @@ func (r Runner) Run(specs []RunSpec) ([]RunResult, error) {
 		go func() {
 			defer wg.Done()
 			// Per-worker scratch: an engine is single-run state, so one per
-			// goroutine is both safe and maximally reusable.
+			// goroutine is both safe and maximally reusable. The sharded
+			// engine is allocated too (cheap when unused) so cells with
+			// Shards > 1 also reuse scratch across runs.
 			eng := &riseandshine.Engine{}
+			sharded := &riseandshine.ShardedEngine{}
 			for i := range indices {
 				var start time.Time
 				if r.Now != nil {
 					start = r.Now()
 				}
-				results[i], errs[i] = runOne(specs[i], sim.RunSeed(r.MasterSeed, i), cache, eng)
+				results[i], errs[i] = runOne(specs[i], sim.RunSeed(r.MasterSeed, i), cache, eng, sharded)
 				if r.Now != nil {
 					results[i].Duration = r.Now().Sub(start)
 				}
@@ -205,9 +214,9 @@ func (r Runner) Run(specs []RunSpec) ([]RunResult, error) {
 }
 
 // runOne executes a single cell; it is also the sequential path (a Runner
-// with Workers == 1 calls exactly this, in order). cache and eng may be
-// nil: they are pure reuse vehicles and never change the result.
-func runOne(spec RunSpec, seed int64, cache *prepCache, eng *riseandshine.Engine) (RunResult, error) {
+// with Workers == 1 calls exactly this, in order). cache, eng, and sharded
+// may be nil: they are pure reuse vehicles and never change the result.
+func runOne(spec RunSpec, seed int64, cache *prepCache, eng *riseandshine.Engine, sharded *riseandshine.ShardedEngine) (RunResult, error) {
 	g := spec.G
 	if g == nil {
 		var err error
@@ -260,6 +269,8 @@ func runOne(spec RunSpec, seed int64, cache *prepCache, eng *riseandshine.Engine
 		Engine:        eng,
 		Queue:         spec.Queue,
 		MemReport:     spec.MemReport,
+		Shards:        spec.Shards,
+		Sharded:       sharded,
 	}
 	var res *sim.Result
 	var prep *riseandshine.Prepared

@@ -146,6 +146,48 @@ func (a *Accounting) Finish(end Time) {
 	}
 }
 
+// shardView returns a per-core Accounting for one shard of a sharded run.
+// The per-node slices alias the master Result's arrays — cores write
+// disjoint node index ranges, so the sharing is race-free — while the
+// scalar tallies stay private to the view and fold back via absorb at the
+// end of the run. portUsed is likewise shared: its outer slice is indexed
+// by node.
+func (a *Accounting) shardView() *Accounting {
+	return &Accounting{
+		limit:    a.limit,
+		portUsed: a.portUsed,
+		res: Result{
+			WakeAt:         a.res.WakeAt,
+			AdversaryWoken: a.res.AdversaryWoken,
+			SentBy:         a.res.SentBy,
+			ReceivedBy:     a.res.ReceivedBy,
+		},
+	}
+}
+
+// absorb folds a shard view's scalar tallies into the master Accounting.
+// Every operation is commutative (sums, maxima, min-of-first-wake), so the
+// merged totals are independent of shard count and order — a prerequisite
+// for the sharded engine's byte-identical Results.
+func (a *Accounting) absorb(o *Accounting) {
+	a.res.Messages += o.res.Messages
+	a.res.MessageBits += o.res.MessageBits
+	if o.res.MaxMessageBits > a.res.MaxMessageBits {
+		a.res.MaxMessageBits = o.res.MaxMessageBits
+	}
+	a.res.AwakeCount += o.res.AwakeCount
+	a.res.CongestViolations += o.res.CongestViolations
+	if o.firstSet {
+		if !a.firstSet || o.first < a.first {
+			a.first = o.first
+		}
+		a.firstSet = true
+		if o.lastWake > a.lastWake {
+			a.lastWake = o.lastWake
+		}
+	}
+}
+
 // CongestError returns the error a strict-CONGEST engine reports when any
 // message exceeded the bit limit, and nil otherwise.
 func (a *Accounting) CongestError() error {

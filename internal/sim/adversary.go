@@ -36,6 +36,21 @@ type Delayer interface {
 	Delay(from, to, k int, sendTime Time) float64
 }
 
+// Lookahead is optionally implemented by Delayers that can promise a
+// positive lower bound on every delay they will ever return. The bound is
+// the conservative-parallel lookahead: the sharded engine quantizes time
+// into windows of that width, knowing no message sent inside a window can
+// be delivered in it. A Delayer without Lookahead (or returning ≤ 0) keeps
+// the sharded engine on its sequential fallback — correct, just not
+// parallel.
+type Lookahead interface {
+	// Lookahead returns a lower bound L such that every Delay call returns
+	// at least L. Implementations must be conservative: returning less
+	// than the true bound only shrinks windows, returning more breaks the
+	// sharded engine's determinism guarantee.
+	Lookahead() float64
+}
+
 // Adversary couples a wake schedule with a delay strategy.
 type Adversary struct {
 	Schedule WakeScheduler
@@ -198,6 +213,9 @@ type UnitDelay struct{}
 // Delay implements Delayer.
 func (UnitDelay) Delay(int, int, int, Time) float64 { return 1 }
 
+// Lookahead implements Lookahead: every delay is exactly 1.
+func (UnitDelay) Lookahead() float64 { return 1 }
+
 // RandomDelay assigns each message an independent deterministic
 // pseudo-random delay, keyed by (edge, message index). The result is
 // guaranteed to lie in (Min, 1] — strictly above Min and never above the
@@ -214,6 +232,20 @@ type RandomDelay struct {
 // Delay implements Delayer.
 func (d RandomDelay) Delay(from, to, k int, _ Time) float64 {
 	return delayInterval(d.Min, hashUnit(d.Seed, from, to, k))
+}
+
+// Lookahead implements Lookahead: delayInterval guarantees every delay is
+// strictly above the clamped Min, so Min itself is a sound lower bound.
+// The default Min = 0 reports no lookahead, keeping the sharded engine
+// sequential — zero-lookahead delays admit no conservative windows.
+func (d RandomDelay) Lookahead() float64 {
+	switch {
+	case !(d.Min > 0): // negative, zero, or NaN — the delayInterval clamp
+		return 0
+	case d.Min >= 1:
+		return math.Nextafter(1, 0)
+	}
+	return d.Min
 }
 
 // delayInterval maps a uniform u in (0, 1] into (min, 1], clamping min
@@ -254,6 +286,16 @@ func (d BiasedDelay) Delay(from, to, _ int, _ Time) float64 {
 	if d.Slow[[2]int{from, to}] {
 		return 1
 	}
+	fast := d.Fast
+	if fast <= 0 || fast > 1 {
+		fast = 0.01
+	}
+	return fast
+}
+
+// Lookahead implements Lookahead: the effective fast delay bounds every
+// edge from below (slow edges return the maximum delay 1).
+func (d BiasedDelay) Lookahead() float64 {
 	fast := d.Fast
 	if fast <= 0 || fast > 1 {
 		fast = 0.01

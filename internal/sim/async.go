@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"riseandshine/internal/graph"
 )
@@ -39,6 +38,12 @@ type Config struct {
 	Setup *Setup
 	// MaxEvents overrides DefaultMaxEvents when positive.
 	MaxEvents int
+	// Shards is the partition count for ShardedEngine.Run: the graph is
+	// split into that many contiguous node ranges, each driven by its own
+	// event loop, synchronized at lookahead-quantized windows with results
+	// byte-identical to the sequential engine at every count. Values ≤ 1
+	// select the sequential path; AsyncEngine ignores the field entirely.
+	Shards int
 	// TrackPorts enables per-node distinct-port accounting (Result.PortsUsed).
 	TrackPorts bool
 	// RecordDigests installs a DigestObserver: per-node transcript digests
@@ -80,89 +85,22 @@ type event struct {
 }
 
 // AsyncEngine is a reusable instance of the asynchronous engine. The zero
-// value is ready to use: Run allocates the scratch state — event heap,
+// value is ready to use: Run allocates the scratch state — event queue,
 // awake/machine/RNG tables, per-edge FIFO clamp and sequence arrays — on
 // first use and thereafter resets it in place rather than reallocating, so
 // repeated runs (a seed sweep over a fixed topology) allocate nothing per
 // delivered message in steady state. Combined with Config.Setup the
 // per-run cost drops to the Result being assembled.
 //
+// An AsyncEngine is a single engineCore spanning the whole node range; the
+// sharded engine runs many cores over a partition (see ShardedEngine).
+//
 // An AsyncEngine is not safe for concurrent use and must not be copied
-// after its first Run (per-node contexts hold a pointer to it); give each
-// sweep worker its own.
+// after its first Run (per-node contexts hold a pointer to its core); give
+// each sweep worker its own.
 type AsyncEngine struct {
-	// Per-run state, overwritten by Run.
-	alg    Algorithm
-	g      *graph.Graph
-	s      *Setup
-	acct   *Accounting
-	obs    Observer
-	delays Delayer
-	seed   int64
-	seq    int64
-	now    Time
-	err    error
-
-	// Reusable scratch: reset, not reallocated (see DESIGN.md "Event
-	// core"). Per-directed-edge state is indexed CSR-style through
-	// Setup.EdgeStart: the out-edge of node v addressed by port p lives at
-	// flat index EdgeStart[v]+p-1. Ports are per-node bijections fixed for
-	// the run, so (node, port) identifies a directed edge without any map
-	// lookup.
-	queue    eventQueue // points at heap or cal, per Config.Queue
-	heap     eventHeap
-	cal      calendarQueue
-	awake    []bool
-	machines []Program
-	rands    []*rand.Rand
-	ctxs     []asyncCtx
-	fifoLast []Time  // last scheduled delivery time (zero value never clamps: delivery times are > 0)
-	edgeSeq  []int32 // messages sent so far on the edge
-}
-
-// asyncCtx is the Context handed to machine handlers; it is bound to one
-// node of one engine. The engine keeps a per-node table of these and hands
-// out pointers, so the Context-interface conversion never allocates on the
-// per-message path.
-type asyncCtx struct {
-	e    *AsyncEngine
-	node int
-}
-
-var _ Context = (*asyncCtx)(nil)
-
-//wakeup:noalloc
-func (c *asyncCtx) Info() NodeInfo { return c.e.s.Infos[c.node] }
-
-//wakeup:noalloc
-func (c *asyncCtx) Now() Time { return c.e.now }
-
-//wakeup:noalloc
-func (c *asyncCtx) Round() int { return -1 }
-
-//wakeup:noalloc
-func (c *asyncCtx) Rand() *rand.Rand { return c.e.rands[c.node] }
-
-//wakeup:noalloc
-func (c *asyncCtx) AdversarialWake() bool { return c.e.acct.AdversaryWoken(c.node) }
-
-//wakeup:noalloc
-func (c *asyncCtx) Send(port int, m Message) {
-	c.e.send(c.node, port, m)
-}
-
-//wakeup:noalloc
-func (c *asyncCtx) SendToID(id graph.NodeID, m Message) {
-	c.e.sendToID(c.node, id, m)
-}
-
-//wakeup:noalloc
-func (c *asyncCtx) Broadcast(m Message) {
-	start := c.e.s.EdgeStart
-	deg := int(start[c.node+1] - start[c.node])
-	for p := 1; p <= deg; p++ {
-		c.e.send(c.node, p, m)
-	}
+	run  runShared
+	core engineCore
 }
 
 // RunAsync executes alg on the configured network until the event queue is
@@ -172,147 +110,152 @@ func RunAsync(cfg Config, alg Algorithm) (*Result, error) {
 	return new(AsyncEngine).Run(cfg, alg)
 }
 
-// Run executes one configuration on the engine, resetting — not
-// reallocating — the scratch state left by any previous run.
-func (e *AsyncEngine) Run(cfg Config, alg Algorithm) (*Result, error) {
+// setupForRun validates the config surface shared by the sequential and
+// sharded engines and resolves the run's Setup, delayer, and wake schedule.
+func setupForRun(cfg Config, alg Algorithm) (*Setup, Delayer, []Wakeup, error) {
 	if cfg.Graph == nil {
-		return nil, fmt.Errorf("sim: Config.Graph is required")
+		return nil, nil, nil, fmt.Errorf("sim: Config.Graph is required")
 	}
 	if alg == nil {
-		return nil, fmt.Errorf("sim: algorithm is required")
+		return nil, nil, nil, fmt.Errorf("sim: algorithm is required")
 	}
 	if cfg.Adversary.Schedule == nil {
-		return nil, fmt.Errorf("sim: Config.Adversary.Schedule is required")
+		return nil, nil, nil, fmt.Errorf("sim: Config.Adversary.Schedule is required")
 	}
 	s := cfg.Setup
 	if s == nil {
 		var err error
 		s, err = NewSetup(cfg.Graph, cfg.Ports, cfg.Model, cfg.Seed, cfg.Advice, cfg.AdviceBits)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 	} else {
 		if s.Graph != cfg.Graph {
-			return nil, fmt.Errorf("sim: Config.Setup was built for a different graph")
+			return nil, nil, nil, fmt.Errorf("sim: Config.Setup was built for a different graph")
 		}
 		if s.Model != cfg.Model {
-			return nil, fmt.Errorf("sim: Config.Setup was built for model %v, config wants %v", s.Model, cfg.Model)
+			return nil, nil, nil, fmt.Errorf("sim: Config.Setup was built for model %v, config wants %v", s.Model, cfg.Model)
 		}
 		if cfg.Ports != nil && s.Ports != cfg.Ports {
-			return nil, fmt.Errorf("sim: Config.Setup was built for a different port map")
+			return nil, nil, nil, fmt.Errorf("sim: Config.Setup was built for a different port map")
 		}
 		s = s.WithSeed(cfg.Seed)
 	}
-	g := s.Graph
 	delays := cfg.Adversary.Delays
 	if delays == nil {
 		delays = UnitDelay{}
 	}
-	wakeups := cfg.Adversary.Schedule.Wakeups(g)
-	if err := validateSchedule(g, wakeups); err != nil {
-		return nil, err
+	wakeups := cfg.Adversary.Schedule.Wakeups(s.Graph)
+	if err := validateSchedule(s.Graph, wakeups); err != nil {
+		return nil, nil, nil, err
 	}
+	return s, delays, wakeups, nil
+}
 
-	e.alg = alg
-	e.g = g
-	e.s = s
-	e.acct = NewAccounting(s, alg.Name(), cfg.TrackPorts)
-	e.obs = cfg.observer()
-	e.delays = delays
-	e.seed = cfg.Seed
-	e.seq = 0
-	e.now = 0
-	e.err = nil
-	e.reset(g.N(), int(s.EdgeStart[g.N()]))
-
-	switch cfg.Queue {
-	case QueueHeap:
-		e.queue = &e.heap
-	case QueueCalendar:
-		e.queue = &e.cal
-	default:
-		return nil, fmt.Errorf("sim: unknown queue kind %v", cfg.Queue)
-	}
-
-	// Pre-size the event queue: enough for the schedule plus a generous
-	// in-flight message buffer, capped so dense graphs don't over-allocate
-	// (the queue still grows on demand).
-	capacity := g.N() + 2*g.M()
+// queueCapacity is the event-queue pre-size hint: enough for the schedule
+// plus a generous in-flight message buffer, capped so dense graphs don't
+// over-allocate (the queue still grows on demand).
+func queueCapacity(n, m int) int {
+	capacity := n + 2*m
 	if capacity > 1<<16 {
 		capacity = 1 << 16
 	}
-	e.queue.reset(capacity)
+	return capacity
+}
+
+// maxEventsFor resolves the run's event budget.
+func maxEventsFor(cfg Config) int {
+	if cfg.MaxEvents > 0 {
+		return cfg.MaxEvents
+	}
+	return DefaultMaxEvents
+}
+
+// Run executes one configuration on the engine, resetting — not
+// reallocating — the scratch state left by any previous run.
+func (e *AsyncEngine) Run(cfg Config, alg Algorithm) (*Result, error) {
+	s, delays, wakeups, err := setupForRun(cfg, alg)
+	if err != nil {
+		return nil, err
+	}
+	g := s.Graph
+	n := g.N()
+
+	e.run.alg = alg
+	e.run.g = g
+	e.run.s = s
+	e.run.delays = delays
+	e.run.seed = cfg.Seed
+	e.run.part = nil
+	e.run.reset(n, int(s.EdgeStart[n]))
+	if len(e.run.ctxs) < n {
+		e.run.ctxs = make([]coreCtx, n)
+		for v := range e.run.ctxs {
+			e.run.ctxs[v] = coreCtx{c: &e.core, node: v}
+		}
+	}
+
+	c := &e.core
+	c.run = &e.run
+	c.id = 0
+	c.lo = 0
+	c.hi = n
+	c.acct = NewAccounting(s, alg.Name(), cfg.TrackPorts)
+	c.obs = cfg.observer()
+	c.now = 0
+	c.seq = 0
+	c.err = nil
+	c.staging = false
+	c.recOn = false
+	c.events = 0
+
+	if err := c.selectQueue(cfg.Queue, queueCapacity(n, g.M())); err != nil {
+		return nil, err
+	}
 
 	// Wake events enter through push, which maintains the heap invariant on
 	// its own — there is no separate "heapify" step. (The container/heap
 	// predecessor called heap.Init here redundantly for the same reason;
 	// TestWakePushesKeepHeapOrdered pins the invariant.)
 	for _, w := range wakeups {
-		e.push(event{at: w.At, kind: evWake, node: w.Node})
+		c.push(event{at: w.At, kind: evWake, node: w.Node})
 	}
 
-	maxEvents := cfg.MaxEvents
-	if maxEvents <= 0 {
-		maxEvents = DefaultMaxEvents
-	}
-
-	res := e.acct.Result()
-	for e.queue.len() > 0 {
+	maxEvents := maxEventsFor(cfg)
+	res := c.acct.Result()
+	for c.queue.len() > 0 {
 		if res.Events >= maxEvents {
 			return nil, fmt.Errorf("sim: event limit %d exceeded (algorithm %q may not terminate)", maxEvents, alg.Name())
 		}
-		ev := e.queue.pop()
-		e.now = ev.at
+		ev := c.queue.pop()
+		c.now = ev.at
 		res.Events++
 		switch ev.kind {
 		case evWake:
-			e.wake(ev.node, true)
+			c.wake(ev.node, true)
 		case evDeliver:
-			e.deliver(ev.node, ev.d)
+			c.deliver(ev.node, ev.d)
 		}
-		if e.err != nil {
-			return nil, e.err
+		if c.err != nil {
+			return nil, c.err
 		}
 	}
 
-	e.acct.Finish(e.now)
+	c.acct.Finish(c.now)
 	if cfg.MemReport {
 		res.Mem = e.memReport(cfg.Queue)
 	}
-	if e.obs != nil {
-		if err := e.obs.OnFinish(res); err != nil {
+	if c.obs != nil {
+		if err := c.obs.OnFinish(res); err != nil {
 			return res, fmt.Errorf("sim: %w", err)
 		}
 	}
 	if cfg.StrictCongest {
-		if err := e.acct.CongestError(); err != nil {
+		if err := c.acct.CongestError(); err != nil {
 			return res, err
 		}
 	}
 	return res, nil
-}
-
-// reset sizes and clears the scratch for n nodes and dir directed edges,
-// reusing backing arrays whenever they are large enough. RNG instances are
-// deliberately kept across runs: wake reseeds a node's generator to the
-// run's stream, which produces exactly the bits a fresh NodeRand would
-// (see ReseedNode), without the ~5 KiB source allocation.
-func (e *AsyncEngine) reset(n, dir int) {
-	e.awake = growClear(e.awake, n)
-	e.machines = growClear(e.machines, n)
-	e.fifoLast = growClear(e.fifoLast, dir)
-	e.edgeSeq = growClear(e.edgeSeq, dir)
-	if len(e.rands) < n {
-		r := make([]*rand.Rand, n)
-		copy(r, e.rands)
-		e.rands = r
-	}
-	if len(e.ctxs) < n {
-		e.ctxs = make([]asyncCtx, n)
-		for v := range e.ctxs {
-			e.ctxs[v] = asyncCtx{e: e, node: v}
-		}
-	}
 }
 
 // growClear returns s with length n and every element zeroed, reusing the
@@ -341,121 +284,4 @@ func (cfg Config) observer() Observer {
 		digest = NewDigestObserver(false)
 	}
 	return StackObservers(trace, digest, cfg.Observer)
-}
-
-//wakeup:noalloc
-func (e *AsyncEngine) push(ev event) {
-	ev.seq = e.seq
-	e.seq++
-	e.queue.push(ev)
-}
-
-//wakeup:noalloc
-func (e *AsyncEngine) wake(v int, adversarial bool) {
-	if e.awake[v] {
-		return
-	}
-	e.awake[v] = true
-	e.acct.Wake(v, e.now, adversarial)
-	if r := e.rands[v]; r == nil {
-		//lint:noalloc-ok one generator per node, built on its first wake ever and reseeded in place across runs
-		e.rands[v] = NodeRand(e.seed, v)
-	} else {
-		ReseedNode(r, e.seed, v)
-	}
-	if e.obs != nil {
-		//lint:noalloc-ok observers are opt-in diagnostics on their own allocation budget; the nil guard keeps the default path clean
-		e.obs.OnWake(e.now, v, adversarial)
-	}
-	//lint:noalloc-ok one machine per node per run, charged to the algorithm's budget
-	e.machines[v] = e.alg.NewMachine(e.s.Infos[v])
-	//lint:noalloc-ok handler allocations are the algorithm's budget, pinned by the steady-state zero-alloc tests
-	e.machines[v].OnWake(&e.ctxs[v])
-}
-
-//wakeup:noalloc
-func (e *AsyncEngine) deliver(v int, d Delivery) {
-	if !e.awake[v] {
-		e.wake(v, false)
-		if e.err != nil {
-			return
-		}
-	}
-	e.acct.Deliver(v, d.Port)
-	if e.obs != nil {
-		//lint:noalloc-ok observers are opt-in diagnostics on their own allocation budget; the nil guard keeps the default path clean
-		e.obs.OnDeliver(e.now, v, d)
-	}
-	//lint:noalloc-ok handler allocations are the algorithm's budget, pinned by the steady-state zero-alloc tests
-	e.machines[v].OnMessage(&e.ctxs[v], d)
-}
-
-//wakeup:noalloc
-func (e *AsyncEngine) send(from, port int, m Message) {
-	if e.err != nil {
-		return
-	}
-	if !e.awake[from] {
-		//lint:noalloc-ok error formatting aborts the run; never on the steady-state path
-		e.err = fmt.Errorf("sim: sleeping node %d attempted to send", from)
-		return
-	}
-	s := e.s
-	ei := s.EdgeStart[from] + int32(port) - 1
-	if port < 1 || ei >= s.EdgeStart[from+1] {
-		// Same contract (and message) as graph.PortMap.Neighbor.
-		//lint:noalloc-ok panic formatting on the programming-error path only
-		panic(fmt.Sprintf("graph: node %d has no port %d (degree %d)", from, port, s.EdgeStart[from+1]-s.EdgeStart[from]))
-	}
-	to := int(s.EdgeTo[ei])
-	if err := e.acct.Send(from, port, m.Bits()); err != nil {
-		e.err = err
-		return
-	}
-	if e.obs != nil {
-		//lint:noalloc-ok observers are opt-in diagnostics on their own allocation budget; the nil guard keeps the default path clean
-		e.obs.OnSend(e.now, from, port, m)
-	}
-
-	k := int(e.edgeSeq[ei])
-	e.edgeSeq[ei]++
-	delay := e.delays.Delay(from, to, k, e.now)
-	if delay <= 0 || delay > 1 {
-		//lint:noalloc-ok error formatting aborts the run; never on the steady-state path
-		e.err = fmt.Errorf("sim: delayer returned %v outside (0,1]", delay)
-		return
-	}
-	at := e.now + Time(delay)
-	if last := e.fifoLast[ei]; at < last {
-		at = last // enforce per-edge FIFO delivery
-	}
-	e.fifoLast[ei] = at
-
-	e.push(event{
-		at:   at,
-		kind: evDeliver,
-		node: to,
-		d: Delivery{
-			Msg:        m,
-			Port:       int(s.RevPort[ei]),
-			SenderPort: port,
-			From:       s.SenderIDs[from],
-		},
-	})
-}
-
-//wakeup:noalloc
-func (e *AsyncEngine) sendToID(from int, id graph.NodeID, m Message) {
-	if e.s.Model.Knowledge != KT1 {
-		//lint:noalloc-ok error formatting aborts the run; never on the steady-state path
-		e.err = fmt.Errorf("sim: SendToID requires KT1 (model is %v)", e.s.Model.Knowledge)
-		return
-	}
-	to := e.g.IndexOf(id)
-	if to == -1 || !e.g.HasEdge(from, to) {
-		//lint:noalloc-ok error formatting aborts the run; never on the steady-state path
-		e.err = fmt.Errorf("sim: node ID %d has no neighbor with ID %d", e.g.ID(from), id)
-		return
-	}
-	e.send(from, e.s.Ports.PortTo(from, to), m)
 }

@@ -131,8 +131,11 @@ func (q *calendarQueue) insert(b int, ev event) {
 	q.ring++
 }
 
-// pop removes and returns the minimum event.
-func (q *calendarQueue) pop() event {
+// position advances the ring to the first occupied bucket — migrating
+// overflow events that came into the horizon — and returns its index. The
+// advance is pure clock movement: it never reorders events, so both pop
+// and peek share it.
+func (q *calendarQueue) position() int {
 	if q.ring == 0 {
 		// Everything pending is beyond the horizon: jump the ring to the
 		// overflow minimum and migrate what now fits.
@@ -149,6 +152,18 @@ func (q *calendarQueue) pop() event {
 		q.migrate()
 		b = int(q.curSlot & q.mask)
 	}
+	return b
+}
+
+// peek implements eventQueue: the head of the first occupied bucket.
+func (q *calendarQueue) peek() *event {
+	b := q.position()
+	return &q.buckets[b][q.head[b]]
+}
+
+// pop removes and returns the minimum event.
+func (q *calendarQueue) pop() event {
+	b := q.position()
 	evs := q.buckets[b]
 	h := q.head[b]
 	ev := evs[h]

@@ -1,0 +1,390 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"riseandshine/internal/graph"
+)
+
+// This file is the engine core shared by the sequential AsyncEngine and
+// the ShardedEngine: one event loop over a contiguous node range. The
+// sequential engine is a single core spanning [0, n); the sharded engine
+// runs one core per partition and reconciles them at window barriers (see
+// sharded.go and DESIGN.md "Sharded engine").
+//
+// The split keeps every per-message code path — wake, deliver, send, the
+// FIFO clamp, CONGEST accounting — in exactly one place, so the two
+// engines cannot drift: byte-identical Results are a structural property,
+// pinned end to end by the differential tests.
+
+// runShared is the per-run state shared by every core of one engine:
+// the immutable run configuration plus the scratch arrays that cores
+// access on disjoint index ranges (nodes for awake/machines/rands/ctxs,
+// CSR edge slots for fifoLast/edgeSeq). Disjointness is what makes the
+// sharded engine race-free without any locking on the hot path.
+type runShared struct {
+	alg    Algorithm
+	g      *graph.Graph
+	s      *Setup
+	delays Delayer
+	seed   int64
+
+	// Reusable scratch: reset, not reallocated (see DESIGN.md "Event
+	// core"). Per-directed-edge state is indexed CSR-style through
+	// Setup.EdgeStart: the out-edge of node v addressed by port p lives at
+	// flat index EdgeStart[v]+p-1. A core only touches the slots of its
+	// own node range.
+	awake    []bool
+	machines []Program
+	rands    []*rand.Rand
+	ctxs     []coreCtx
+	fifoLast []Time  // last scheduled delivery time (zero value never clamps: delivery times are > 0)
+	edgeSeq  []int32 // messages sent so far on the edge
+
+	// part is the node partition in sharded runs; nil in the sequential
+	// engine, whose send path then pushes straight into the core's queue.
+	part *Partition
+}
+
+// reset sizes and clears the shared scratch for n nodes and dir directed
+// edges, reusing backing arrays whenever they are large enough. RNG
+// instances are deliberately kept across runs: wake reseeds a node's
+// generator to the run's stream, which produces exactly the bits a fresh
+// NodeRand would (see ReseedNode), without the ~5 KiB source allocation.
+func (r *runShared) reset(n, dir int) {
+	r.awake = growClear(r.awake, n)
+	r.machines = growClear(r.machines, n)
+	r.fifoLast = growClear(r.fifoLast, dir)
+	r.edgeSeq = growClear(r.edgeSeq, dir)
+	if len(r.rands) < n {
+		rr := make([]*rand.Rand, n)
+		copy(rr, r.rands)
+		r.rands = rr
+	}
+}
+
+// Observer record kinds for the sharded engine's record/replay channel.
+const (
+	recWake = iota + 1
+	recDeliver
+	recSend
+)
+
+// obsRecord is one deferred observer call. Cores in a sharded run cannot
+// call the user's Observer directly — calls would interleave across
+// goroutines — so each core appends records tagged with the key (at, vseq)
+// of the event being processed, and the coordinator replays the merged
+// streams in key order at every window barrier, reproducing the sequential
+// engine's exact call sequence (see sharded.go).
+type obsRecord struct {
+	kAt   Time
+	kVseq int64
+	kind  uint8
+	adv   bool
+	node  int      // woken/receiving node, or the sender for recSend
+	port  int      // sender-side port for recSend
+	d     Delivery // recDeliver payload; recSend stores the Message in d.Msg
+}
+
+// stagedSend is one message staged in a core's outbox during a window. The
+// key (pAt, pVseq) identifies the sending (parent) event; the barrier merge
+// orders children by parent key — stable within a core — which reproduces
+// the sequential engine's global push order exactly, so the vseq numbers
+// assigned at the barrier equal the seq numbers the sequential engine would
+// have used (see sharded.go).
+type stagedSend struct {
+	ev    event
+	pAt   Time
+	pVseq int64
+	dest  uint8 // destination shard (Partition.EdgeShard)
+}
+
+// engineCore is one event loop over the contiguous node range [lo, hi).
+// The sequential engine owns a single core with staging off; the sharded
+// engine owns one per partition with staging on, in which case push never
+// runs — every send is staged and events enter the queue only through the
+// inbox at window starts, already carrying their barrier-assigned vseq.
+type engineCore struct {
+	run *runShared
+	id  int // shard index; 0 in the sequential engine
+	lo  int // first owned node
+	hi  int // one past the last owned node
+
+	queue eventQueue // points at heap or cal, per Config.Queue
+	heap  eventHeap
+	cal   calendarQueue
+
+	acct *Accounting
+	obs  Observer // direct observer; nil in sharded cores (recOn instead)
+
+	now Time
+	seq int64 // sequential push counter; unused when staging
+	err error
+
+	// Sharded-mode state. curAt/curVseq are the key of the event being
+	// processed — the tag for staged children and observer records.
+	staging bool
+	recOn   bool
+	curAt   Time
+	curVseq int64
+	staged  []stagedSend
+	rec     []obsRecord
+	events  int  // events processed by this core this run
+	lastAt  Time // time of the last processed event
+	nextAt  Time // after a window: time of the first event ≥ windowEnd
+}
+
+// coreCtx is the Context handed to machine handlers; it is bound to one
+// node of one core. The engine keeps a per-node table of these and hands
+// out pointers, so the Context-interface conversion never allocates on the
+// per-message path.
+type coreCtx struct {
+	c    *engineCore
+	node int
+}
+
+var _ Context = (*coreCtx)(nil)
+
+//wakeup:noalloc
+func (c *coreCtx) Info() NodeInfo { return c.c.run.s.Infos[c.node] }
+
+//wakeup:noalloc
+func (c *coreCtx) Now() Time { return c.c.now }
+
+//wakeup:noalloc
+func (c *coreCtx) Round() int { return AsyncRound }
+
+//wakeup:noalloc
+func (c *coreCtx) Rand() *rand.Rand { return c.c.run.rands[c.node] }
+
+//wakeup:noalloc
+func (c *coreCtx) AdversarialWake() bool { return c.c.acct.AdversaryWoken(c.node) }
+
+//wakeup:noalloc
+func (c *coreCtx) Send(port int, m Message) {
+	c.c.send(c.node, port, m)
+}
+
+//wakeup:noalloc
+func (c *coreCtx) SendToID(id graph.NodeID, m Message) {
+	c.c.sendToID(c.node, id, m)
+}
+
+//wakeup:noalloc
+func (c *coreCtx) Broadcast(m Message) {
+	start := c.c.run.s.EdgeStart
+	deg := int(start[c.node+1] - start[c.node])
+	for p := 1; p <= deg; p++ {
+		c.c.send(c.node, p, m)
+	}
+}
+
+//wakeup:noalloc
+func (c *engineCore) push(ev event) {
+	ev.seq = c.seq
+	c.seq++
+	c.queue.push(ev)
+}
+
+// record appends one deferred observer call tagged with the current event
+// key (sharded runs only; see obsRecord).
+//
+//wakeup:noalloc
+func (c *engineCore) record(kind uint8, node, port int, adv bool, d Delivery) {
+	//lint:noalloc-ok grows to the window's high-water record count, then reuses the array (the barrier truncates, keeping capacity)
+	c.rec = append(c.rec, obsRecord{
+		kAt: c.curAt, kVseq: c.curVseq,
+		kind: kind, adv: adv, node: node, port: port, d: d,
+	})
+}
+
+// stage appends one outgoing message to the core's outbox instead of the
+// event queue; the window barrier merges outboxes across cores, assigns
+// vseq numbers, and routes each event to its destination shard's inbox.
+//
+//wakeup:noalloc
+func (c *engineCore) stage(ev event, dest uint8) {
+	//lint:noalloc-ok grows to the window's high-water outbox size, then reuses the array (the barrier truncates, keeping capacity)
+	c.staged = append(c.staged, stagedSend{ev: ev, pAt: c.curAt, pVseq: c.curVseq, dest: dest})
+}
+
+//wakeup:noalloc
+func (c *engineCore) wake(v int, adversarial bool) {
+	r := c.run
+	if r.awake[v] {
+		return
+	}
+	r.awake[v] = true
+	c.acct.Wake(v, c.now, adversarial)
+	if rng := r.rands[v]; rng == nil {
+		//lint:noalloc-ok one generator per node, built on its first wake ever and reseeded in place across runs
+		r.rands[v] = NodeRand(r.seed, v)
+	} else {
+		ReseedNode(rng, r.seed, v)
+	}
+	if c.obs != nil {
+		//lint:noalloc-ok observers are opt-in diagnostics on their own allocation budget; the nil guard keeps the default path clean
+		c.obs.OnWake(c.now, v, adversarial)
+	} else if c.recOn {
+		c.record(recWake, v, 0, adversarial, Delivery{})
+	}
+	//lint:noalloc-ok one machine per node per run, charged to the algorithm's budget
+	r.machines[v] = r.alg.NewMachine(r.s.Infos[v])
+	//lint:noalloc-ok handler allocations are the algorithm's budget, pinned by the steady-state zero-alloc tests
+	r.machines[v].OnWake(&r.ctxs[v])
+}
+
+//wakeup:noalloc
+func (c *engineCore) deliver(v int, d Delivery) {
+	r := c.run
+	if !r.awake[v] {
+		c.wake(v, false)
+		if c.err != nil {
+			return
+		}
+	}
+	c.acct.Deliver(v, d.Port)
+	if c.obs != nil {
+		//lint:noalloc-ok observers are opt-in diagnostics on their own allocation budget; the nil guard keeps the default path clean
+		c.obs.OnDeliver(c.now, v, d)
+	} else if c.recOn {
+		c.record(recDeliver, v, 0, false, d)
+	}
+	//lint:noalloc-ok handler allocations are the algorithm's budget, pinned by the steady-state zero-alloc tests
+	r.machines[v].OnMessage(&r.ctxs[v], d)
+}
+
+//wakeup:noalloc
+func (c *engineCore) send(from, port int, m Message) {
+	if c.err != nil {
+		return
+	}
+	r := c.run
+	if !r.awake[from] {
+		//lint:noalloc-ok error formatting aborts the run; never on the steady-state path
+		c.err = fmt.Errorf("sim: sleeping node %d attempted to send", from)
+		return
+	}
+	s := r.s
+	ei := s.EdgeStart[from] + int32(port) - 1
+	if port < 1 || ei >= s.EdgeStart[from+1] {
+		// Same contract (and message) as graph.PortMap.Neighbor.
+		//lint:noalloc-ok panic formatting on the programming-error path only
+		panic(fmt.Sprintf("graph: node %d has no port %d (degree %d)", from, port, s.EdgeStart[from+1]-s.EdgeStart[from]))
+	}
+	to := int(s.EdgeTo[ei])
+	if err := c.acct.Send(from, port, m.Bits()); err != nil {
+		c.err = err
+		return
+	}
+	if c.obs != nil {
+		//lint:noalloc-ok observers are opt-in diagnostics on their own allocation budget; the nil guard keeps the default path clean
+		c.obs.OnSend(c.now, from, port, m)
+	} else if c.recOn {
+		c.record(recSend, from, port, false, Delivery{Msg: m})
+	}
+
+	k := int(r.edgeSeq[ei])
+	r.edgeSeq[ei]++
+	delay := r.delays.Delay(from, to, k, c.now)
+	if delay <= 0 || delay > 1 {
+		//lint:noalloc-ok error formatting aborts the run; never on the steady-state path
+		c.err = fmt.Errorf("sim: delayer returned %v outside (0,1]", delay)
+		return
+	}
+	at := c.now + Time(delay)
+	if last := r.fifoLast[ei]; at < last {
+		at = last // enforce per-edge FIFO delivery
+	}
+	r.fifoLast[ei] = at
+
+	ev := event{
+		at:   at,
+		kind: evDeliver,
+		node: to,
+		d: Delivery{
+			Msg:        m,
+			Port:       int(s.RevPort[ei]),
+			SenderPort: port,
+			From:       s.SenderIDs[from],
+		},
+	}
+	if c.staging {
+		c.stage(ev, r.part.EdgeShard[ei])
+	} else {
+		c.push(ev)
+	}
+}
+
+//wakeup:noalloc
+func (c *engineCore) sendToID(from int, id graph.NodeID, m Message) {
+	r := c.run
+	if r.s.Model.Knowledge != KT1 {
+		//lint:noalloc-ok error formatting aborts the run; never on the steady-state path
+		c.err = fmt.Errorf("sim: SendToID requires KT1 (model is %v)", r.s.Model.Knowledge)
+		return
+	}
+	to := r.g.IndexOf(id)
+	if to == -1 || !r.g.HasEdge(from, to) {
+		//lint:noalloc-ok error formatting aborts the run; never on the steady-state path
+		c.err = fmt.Errorf("sim: node ID %d has no neighbor with ID %d", r.g.ID(from), id)
+		return
+	}
+	c.send(from, r.s.Ports.PortTo(from, to), m)
+}
+
+// selectQueue binds the core's queue interface to the configured
+// implementation and sizes it from the capacity hint.
+func (c *engineCore) selectQueue(kind QueueKind, capacity int) error {
+	switch kind {
+	case QueueHeap:
+		c.queue = &c.heap
+	case QueueCalendar:
+		c.queue = &c.cal
+	default:
+		return fmt.Errorf("sim: unknown queue kind %v", kind)
+	}
+	c.queue.reset(capacity)
+	return nil
+}
+
+// runWindow is the sharded per-core loop for one window: push the inbox
+// (events already carry their barrier-assigned vseq), then drain every
+// event strictly before windowEnd, staging all children. The lookahead
+// invariant — every child's delivery time is at least one window width
+// after its parent — guarantees nothing pushed during the window is
+// processed in it, so the drain is bounded by the pending population.
+// budget caps the core's total events as a runaway guard; the coordinator
+// converts budget exhaustion into the engine's event-limit error.
+//
+//wakeup:noalloc
+func (c *engineCore) runWindow(inbox []event, windowEnd Time, budget int) {
+	for _, ev := range inbox {
+		c.queue.push(ev)
+	}
+	c.nextAt = infTime
+	for c.queue.len() > 0 {
+		top := c.queue.peek()
+		if top.at >= windowEnd {
+			c.nextAt = top.at
+			return
+		}
+		ev := c.queue.pop()
+		c.now = ev.at
+		c.curAt = ev.at
+		c.curVseq = ev.seq
+		c.events++
+		c.lastAt = ev.at
+		switch ev.kind {
+		case evWake:
+			c.wake(ev.node, true)
+		case evDeliver:
+			c.deliver(ev.node, ev.d)
+		}
+		if c.err != nil || c.events >= budget {
+			c.nextAt = c.now
+			return
+		}
+	}
+}

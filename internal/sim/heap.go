@@ -31,6 +31,9 @@ func eventLess(x, y *event) bool {
 
 func (h *eventHeap) len() int { return len(h.a) }
 
+// peek implements eventQueue: the root is the minimum.
+func (h *eventHeap) peek() *event { return &h.a[0] }
+
 // memBytes implements eventQueue: the heap's backing array.
 func (h *eventHeap) memBytes() int64 { return int64(cap(h.a)) * eventBytes }
 

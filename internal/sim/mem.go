@@ -13,7 +13,7 @@ import (
 var (
 	eventBytes       = int64(unsafe.Sizeof(event{}))
 	sliceHeaderBytes = int64(unsafe.Sizeof([]event(nil)))
-	ctxBytes         = int64(unsafe.Sizeof(asyncCtx{}))
+	ctxBytes         = int64(unsafe.Sizeof(coreCtx{}))
 	programBytes     = int64(unsafe.Sizeof(Program(nil)))
 	// rngStateBytes approximates one node generator: the rand.Rand wrapper
 	// plus the 607-word additive-lagged-Fibonacci source it owns.
@@ -53,15 +53,29 @@ type MemReport struct {
 	// NodeBytes covers the remaining per-node tables: awake flags, machine
 	// slots, context table, and RNG pointers.
 	NodeBytes int64
+	// Shards is the number of partitions the run executed on; 0 or 1 means
+	// the sequential engine (or the sharded engine's sequential fallback),
+	// in which case OutboxBytes is zero. QueueBytes then sums the per-shard
+	// queues — P small queues, not one large one.
+	Shards int `json:",omitempty"`
+	// OutboxBytes covers the sharded engine's cross-window plumbing: the
+	// per-core staged outboxes, deferred observer records, and per-shard
+	// inboxes. Like every other figure it is end-of-run capacity, i.e. the
+	// high-water mark across all windows.
+	OutboxBytes int64 `json:",omitempty"`
 	// TotalBytes is the sum of the subsystem figures.
 	TotalBytes int64
 }
 
 // String renders a compact single-line summary.
 func (m *MemReport) String() string {
-	return fmt.Sprintf("mem[%s]: total=%s queue=%s fifo=%s rng=%s csr=%s nodes=%s",
+	s := fmt.Sprintf("mem[%s]: total=%s queue=%s fifo=%s rng=%s csr=%s nodes=%s",
 		m.Queue, FormatBytes(m.TotalBytes), FormatBytes(m.QueueBytes), FormatBytes(m.FIFOBytes),
 		FormatBytes(m.RNGBytes), FormatBytes(m.CSRBytes), FormatBytes(m.NodeBytes))
+	if m.Shards > 1 {
+		s += fmt.Sprintf(" shards=%d outbox=%s", m.Shards, FormatBytes(m.OutboxBytes))
+	}
+	return s
 }
 
 // FormatBytes renders a byte count with a binary unit suffix.
@@ -78,26 +92,61 @@ func FormatBytes(b int64) string {
 	}
 }
 
-// memReport assembles the per-subsystem scratch accounting at the end of a
-// run.
-func (e *AsyncEngine) memReport(kind QueueKind) *MemReport {
+// memReport assembles the per-subsystem scratch accounting over the shared
+// run state; queueBytes is the (possibly per-shard summed) event-queue
+// figure supplied by the owning engine.
+func (r *runShared) memReport(kind QueueKind, queueBytes int64) *MemReport {
 	rngs := 0
-	for _, r := range e.rands {
-		if r != nil {
+	for _, rng := range r.rands {
+		if rng != nil {
 			rngs++
 		}
 	}
-	s := e.s
+	s := r.s
 	m := &MemReport{
 		Queue:      kind.String(),
-		QueueBytes: e.queue.memBytes(),
-		FIFOBytes:  int64(cap(e.fifoLast))*8 + int64(cap(e.edgeSeq))*4,
+		QueueBytes: queueBytes,
+		FIFOBytes:  int64(cap(r.fifoLast))*8 + int64(cap(r.edgeSeq))*4,
 		RNGBytes:   int64(rngs) * rngStateBytes,
 		CSRBytes: int64(len(s.EdgeStart))*4 + int64(len(s.EdgeTo))*4 +
 			int64(len(s.RevPort))*4 + int64(len(s.SenderIDs))*8,
-		NodeBytes: int64(cap(e.awake)) + int64(cap(e.machines))*programBytes +
-			int64(cap(e.ctxs))*ctxBytes + int64(cap(e.rands))*8,
+		NodeBytes: int64(cap(r.awake)) + int64(cap(r.machines))*programBytes +
+			int64(cap(r.ctxs))*ctxBytes + int64(cap(r.rands))*8,
 	}
 	m.TotalBytes = m.QueueBytes + m.FIFOBytes + m.RNGBytes + m.CSRBytes + m.NodeBytes
 	return m
 }
+
+// memReport assembles the sequential engine's end-of-run accounting.
+func (e *AsyncEngine) memReport(kind QueueKind) *MemReport {
+	return e.run.memReport(kind, e.core.queue.memBytes())
+}
+
+// memReport assembles the sharded engine's end-of-run accounting: the
+// per-core queues sum into QueueBytes, and the staging machinery — outboxes,
+// observer records, inboxes, and the partition tables — lands in
+// OutboxBytes, so `sweep -mem` stays truthful about what -shards adds.
+func (e *ShardedEngine) memReport(kind QueueKind) *MemReport {
+	var queueBytes, outbox int64
+	for i := range e.cores {
+		c := &e.cores[i]
+		queueBytes += c.queue.memBytes()
+		outbox += int64(cap(c.staged))*stagedBytes + int64(cap(c.rec))*recBytes
+	}
+	for _, in := range e.inboxes {
+		outbox += int64(cap(in)) * eventBytes
+	}
+	if p := e.part; p != nil {
+		outbox += int64(cap(p.Bounds))*4 + int64(cap(p.NodeShard)) + int64(cap(p.EdgeShard))
+	}
+	m := e.run.memReport(kind, queueBytes)
+	m.Shards = len(e.cores)
+	m.OutboxBytes = outbox
+	m.TotalBytes += outbox
+	return m
+}
+
+var (
+	stagedBytes = int64(unsafe.Sizeof(stagedSend{}))
+	recBytes    = int64(unsafe.Sizeof(obsRecord{}))
+)

@@ -160,6 +160,15 @@ type NodeInfo struct {
 	AdviceBits int
 }
 
+// AsyncRound is the sentinel Context.Round returns in the asynchronous
+// engines (sequential and sharded), where no global round structure
+// exists. It is a named contract, not an arbitrary -1: algorithms that run
+// on both engine families branch on Round() == AsyncRound (equivalently
+// Round() < 0 — synchronous rounds are always ≥ 0) to select their
+// asynchronous behavior, and the sharded engine returns exactly the same
+// sentinel so the branch is engine-transparent.
+const AsyncRound = -1
+
 // Context is the interface through which a machine interacts with the
 // engine during a computing step. Implementations are not safe for use
 // outside the handler invocation that received them.
@@ -175,8 +184,10 @@ type Context interface {
 	// property portable algorithms may rely on; values are not comparable
 	// across engines.
 	Now() Time
-	// Round returns the current round in the synchronous engine and -1 in
-	// the asynchronous engine.
+	// Round returns the current round (≥ 0) in the synchronous engine and
+	// the AsyncRound sentinel in the asynchronous engines — the sequential
+	// and sharded engines return the identical value, so algorithms
+	// branching on it behave the same under either.
 	Round() int
 	// Rand returns the node's private source of randomness.
 	Rand() *rand.Rand

@@ -1,0 +1,69 @@
+package sim
+
+// Partition splits a topology's node range into P contiguous shards for
+// the sharded engine. Shard i owns nodes [Bounds[i], Bounds[i+1]); the cut
+// points balance the weight 1+deg(v) — a proxy for a node's event-loop
+// work (its own wake plus one delivery per incident directed edge).
+//
+// EdgeShard precomputes, for every CSR directed-edge slot ei, the shard
+// owning the receiving node EdgeTo[ei], so the send path routes a staged
+// message with a single indexed load — a branch, not a lookup. A Partition
+// is immutable after construction and shared by all cores of a run.
+type Partition struct {
+	// P is the shard count, after clamping to [1, min(n, 256)].
+	P int
+	// Bounds has length P+1; shard i owns nodes [Bounds[i], Bounds[i+1]).
+	Bounds []int32
+	// NodeShard[v] is the shard owning node v (used to scatter the initial
+	// wake schedule; the hot path uses EdgeShard).
+	NodeShard []uint8
+	// EdgeShard[ei] is the shard owning EdgeTo[ei] for every CSR
+	// directed-edge slot, indexed like Setup.EdgeTo.
+	EdgeShard []uint8
+}
+
+// Partition computes a P-way contiguous node partition of the Setup's
+// topology, balanced by 1+deg(v). P is clamped to [1, min(n, 256)] — the
+// uint8 shard indices bound the fan-out, far beyond any useful core count.
+// The result depends only on the topology (the CSR arrays), so one
+// Partition serves every run and seed over a cached Setup.
+func (s *Setup) Partition(p int) *Partition {
+	n := s.Graph.N()
+	if p > n {
+		p = n
+	}
+	if p > 256 {
+		p = 256
+	}
+	if p < 1 {
+		p = 1
+	}
+	dir := int(s.EdgeStart[n])
+	total := int64(n) + int64(dir)
+	pt := &Partition{
+		P:         p,
+		Bounds:    make([]int32, p+1),
+		NodeShard: make([]uint8, n),
+		EdgeShard: make([]uint8, dir),
+	}
+	cum := int64(0)
+	sh := 0
+	for v := 0; v < n; v++ {
+		cum += 1 + int64(s.EdgeStart[v+1]-s.EdgeStart[v])
+		pt.NodeShard[v] = uint8(sh)
+		// Close shard sh once its cumulative quota is met — but never
+		// tighter than one node per remaining shard, and forcibly when the
+		// remaining nodes are exactly the remaining shards (every shard must
+		// be non-empty even when heavy nodes front-load the quota).
+		mustCut := n-(v+1) == p-1-sh
+		if sh < p-1 && (cum*int64(p) >= total*int64(sh+1) || mustCut) && n-(v+1) >= p-1-sh {
+			sh++
+			pt.Bounds[sh] = int32(v + 1)
+		}
+	}
+	pt.Bounds[p] = int32(n)
+	for ei := 0; ei < dir; ei++ {
+		pt.EdgeShard[ei] = pt.NodeShard[s.EdgeTo[ei]]
+	}
+	return pt
+}

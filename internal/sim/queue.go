@@ -27,6 +27,13 @@ type eventQueue interface {
 	//
 	//wakeup:noalloc
 	pop() event
+	// peek returns a pointer to the minimum event without removing it; it
+	// must not be called on an empty queue, and the pointer is valid only
+	// until the next queue operation. The sharded engine's window drain
+	// peeks to decide whether the minimum still falls inside the window.
+	//
+	//wakeup:noalloc
+	peek() *event
 	// memBytes reports the backing storage held, for the memory report.
 	memBytes() int64
 }

@@ -1,0 +1,447 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// infTime is the +∞ time sentinel: an engineCore reports nextAt = infTime
+// when its queue drained inside the window, and the coordinator terminates
+// when every pending-time source reports it.
+var infTime = Time(math.Inf(1))
+
+// shardCmd dispatches one window to a core's worker goroutine. The channel
+// send is the happens-before edge that publishes the coordinator's barrier
+// work (the inbox, the truncated outbox) to the worker.
+type shardCmd struct {
+	inbox     []event
+	windowEnd Time
+	budget    int
+}
+
+// ShardedEngine partitions ONE run across cores: the conservative parallel
+// counterpart of AsyncEngine. The graph is split into P contiguous node
+// ranges (see Partition), each driven by its own engineCore event loop, and
+// the cores synchronize at windows of width W = the Delayer's Lookahead.
+//
+// Conservative correctness. Every delay is ≥ W, so an event processed at
+// time t schedules its children no earlier than fl(t+W) — and by
+// round-to-nearest monotonicity, no earlier than the window end
+// fl(globalNext + W) for any t ≥ globalNext (the FIFO clamp only raises
+// delivery times, preserving the bound). Windows are anchored at the exact
+// global minimum pending time, so no event pushed during a window can be
+// processed inside it: cores drain their windows independently, staging
+// every outgoing message in a per-core outbox instead of pushing it.
+//
+// Determinism. Node and CSR-edge state is touched only by the owning core
+// (disjoint index ranges of the shared scratch), so within a window the
+// cores commute. Cross-window order is reconstructed at the barrier: staged
+// sends are k-way merged by the sending event's key (at, vseq) — stable
+// within a core, and keys are globally unique — which is exactly the
+// sequential engine's push order, so the consecutively assigned vseq
+// numbers equal the seq numbers AsyncEngine would have used. Both queues
+// order by (at, seq), hence every core processes its events in the same
+// relative order the sequential engine would, and the marshaled Result is
+// byte-identical at every shard count — pinned by the differential tests.
+//
+// Observers cannot be called from P goroutines, so cores record deferred
+// observer calls tagged with the event key and the coordinator replays the
+// merged streams in key order at each barrier, reproducing the sequential
+// call sequence exactly (traces and digests included).
+//
+// Fallback: Shards ≤ 1, a Delayer without a positive Lookahead, or a
+// partition that collapses to one shard all run on an embedded sequential
+// engine — same results, no parallelism.
+//
+// A ShardedEngine is not safe for concurrent use and must not be copied
+// after its first Run; give each sweep worker its own.
+type ShardedEngine struct {
+	run     runShared
+	cores   []engineCore
+	inboxes [][]event
+	cursors []int // k-way merge cursors, reused across barriers
+	seqFB   *AsyncEngine
+
+	// Partition cache: the partition depends only on the topology (the CSR
+	// arrays) and P, so it is keyed by the stable backing array of a cached
+	// Setup and survives whole seed sweeps.
+	partKey *int32
+	partN   int
+	partP   int
+	part    *Partition
+}
+
+// RunSharded executes alg with cfg.Shards partitions on a fresh engine; use
+// an explicit ShardedEngine to reuse scratch state across runs.
+func RunSharded(cfg Config, alg Algorithm) (*Result, error) {
+	return new(ShardedEngine).Run(cfg, alg)
+}
+
+// sequential is the fallback path: byte-identical by construction.
+func (e *ShardedEngine) sequential(cfg Config, alg Algorithm) (*Result, error) {
+	if e.seqFB == nil {
+		e.seqFB = new(AsyncEngine)
+	}
+	return e.seqFB.Run(cfg, alg)
+}
+
+// partition returns the cached Partition for (topology, p), computing it on
+// first use.
+func (e *ShardedEngine) partition(s *Setup, p int) *Partition {
+	n := s.Graph.N()
+	key := &s.EdgeStart[0]
+	if e.part == nil || e.partKey != key || e.partN != n || e.partP != p {
+		e.part = s.Partition(p)
+		e.partKey = key
+		e.partN = n
+		e.partP = p
+	}
+	return e.part
+}
+
+// Run executes one configuration across cfg.Shards partitions, resetting —
+// not reallocating — the scratch left by any previous run.
+func (e *ShardedEngine) Run(cfg Config, alg Algorithm) (*Result, error) {
+	if cfg.Shards <= 1 {
+		return e.sequential(cfg, alg)
+	}
+	s, delays, wakeups, err := setupForRun(cfg, alg)
+	if err != nil {
+		return nil, err
+	}
+	w := 0.0
+	if lh, ok := delays.(Lookahead); ok {
+		w = lh.Lookahead()
+	}
+	if w > 1 {
+		w = 1 // delays never exceed τ = 1; a wider promise is meaningless
+	}
+	if !(w > 0) { // zero, negative, or NaN: no conservative window exists
+		return e.sequential(cfg, alg)
+	}
+	part := e.partition(s, cfg.Shards)
+	if part.P <= 1 {
+		return e.sequential(cfg, alg)
+	}
+
+	g := s.Graph
+	n := g.N()
+	p := part.P
+	W := Time(w)
+
+	e.run.alg = alg
+	e.run.g = g
+	e.run.s = s
+	e.run.delays = delays
+	e.run.seed = cfg.Seed
+	e.run.part = part
+	e.run.reset(n, int(s.EdgeStart[n]))
+
+	if len(e.cores) != p {
+		e.cores = make([]engineCore, p)
+		e.inboxes = make([][]event, p)
+		e.cursors = make([]int, p)
+	}
+	// Contexts must point at the owning core, so — unlike the sequential
+	// engine — they are refilled every run: the partition, or the cores
+	// backing array itself, may have changed since the last one.
+	if cap(e.run.ctxs) < n {
+		e.run.ctxs = make([]coreCtx, n)
+	}
+	e.run.ctxs = e.run.ctxs[:n]
+
+	obs := cfg.observer()
+	master := NewAccounting(s, alg.Name(), cfg.TrackPorts)
+	capacity := queueCapacity(n, g.M())/p + 64
+
+	for i := 0; i < p; i++ {
+		c := &e.cores[i]
+		c.run = &e.run
+		c.id = i
+		c.lo = int(part.Bounds[i])
+		c.hi = int(part.Bounds[i+1])
+		c.acct = master.shardView()
+		c.obs = nil
+		c.now = 0
+		c.seq = 0
+		c.err = nil
+		c.staging = true
+		c.recOn = obs != nil
+		c.curAt = 0
+		c.curVseq = 0
+		c.events = 0
+		c.lastAt = 0
+		c.nextAt = infTime
+		truncateStaged(c)
+		truncateRec(c)
+		if err := c.selectQueue(cfg.Queue, capacity); err != nil {
+			return nil, err
+		}
+		for v := c.lo; v < c.hi; v++ {
+			e.run.ctxs[v] = coreCtx{c: c, node: v}
+		}
+	}
+
+	// Scatter the wake schedule: wakeups take vseq 0..len-1 in schedule
+	// order, exactly the seq numbers the sequential engine's initial pushes
+	// assign.
+	inboxMin := infTime
+	for i, wk := range wakeups {
+		ev := event{at: wk.At, seq: int64(i), kind: evWake, node: wk.Node}
+		d := part.NodeShard[wk.Node]
+		e.inboxes[d] = append(e.inboxes[d], ev)
+		if ev.at < inboxMin {
+			inboxMin = ev.at
+		}
+	}
+	globalVseq := int64(len(wakeups))
+	maxEvents := maxEventsFor(cfg)
+	totalEvents := 0
+
+	var wg sync.WaitGroup
+	cmds := make([]chan shardCmd, p)
+	for i := 0; i < p; i++ {
+		cmds[i] = make(chan shardCmd, 1)
+		go func(c *engineCore, cmd chan shardCmd) {
+			for w := range cmd {
+				c.runWindow(w.inbox, w.windowEnd, w.budget)
+				wg.Done()
+			}
+		}(&e.cores[i], cmds[i])
+	}
+	defer func() {
+		for _, cmd := range cmds {
+			close(cmd)
+		}
+	}()
+
+	for {
+		globalNext := inboxMin
+		for i := range e.cores {
+			if e.cores[i].nextAt < globalNext {
+				globalNext = e.cores[i].nextAt
+			}
+		}
+		if globalNext == infTime {
+			break // nothing pending anywhere: the run has quiesced
+		}
+		windowEnd := globalNext + W
+		if !(windowEnd > globalNext) {
+			// At very large times the width can round away entirely; the
+			// next representable instant still covers every event at exactly
+			// globalNext, so each window makes progress.
+			windowEnd = Time(math.Nextafter(float64(globalNext), math.Inf(1)))
+		}
+
+		prevTotal := totalEvents
+		wg.Add(p)
+		for i := 0; i < p; i++ {
+			cmds[i] <- shardCmd{inbox: e.inboxes[i], windowEnd: windowEnd, budget: maxEvents + 1}
+		}
+		wg.Wait()
+
+		totalEvents = 0
+		for i := range e.cores {
+			totalEvents += e.cores[i].events
+		}
+		for i := range e.inboxes {
+			in := e.inboxes[i]
+			clear(in) // release Delivery.Msg references
+			e.inboxes[i] = in[:0]
+		}
+
+		// Error selection: the error the sequential engine reports first is
+		// the one raised by the event with the minimal (at, vseq) key — all
+		// events below that key completed cleanly on every core (cores drain
+		// in key order). An event-limit overrun that sequentially precedes
+		// the erroring event (prevTotal ≥ maxEvents: the limit was crossed
+		// in an earlier window's event range) takes priority instead.
+		if errCore := e.minErrCore(); errCore != nil {
+			if prevTotal >= maxEvents {
+				return nil, eventLimitErr(maxEvents, alg)
+			}
+			if obs != nil {
+				e.replay(obs, errCore.curAt, errCore.curVseq)
+			}
+			return nil, errCore.err
+		}
+		if totalEvents > maxEvents {
+			// The sequential engine stops after exactly maxEvents events, so
+			// its trace of the aborted window is a prefix of ours; the
+			// Result is nil either way, and the records are dropped.
+			return nil, eventLimitErr(maxEvents, alg)
+		}
+
+		if obs != nil {
+			e.replay(obs, infTime, math.MaxInt64)
+		}
+		inboxMin = e.mergeStaged(&globalVseq)
+	}
+
+	end := Time(0)
+	for i := range e.cores {
+		c := &e.cores[i]
+		if c.lastAt > end {
+			end = c.lastAt
+		}
+		master.absorb(c.acct)
+	}
+	master.Result().Events = totalEvents
+	master.Finish(end)
+	res := master.Result()
+	if cfg.MemReport {
+		res.Mem = e.memReport(cfg.Queue)
+	}
+	if obs != nil {
+		if err := obs.OnFinish(res); err != nil {
+			return res, fmt.Errorf("sim: %w", err)
+		}
+	}
+	if cfg.StrictCongest {
+		if err := master.CongestError(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// eventLimitErr is the event-budget error, shared verbatim with the
+// sequential engine so the two paths are indistinguishable to callers.
+func eventLimitErr(maxEvents int, alg Algorithm) error {
+	return fmt.Errorf("sim: event limit %d exceeded (algorithm %q may not terminate)", maxEvents, alg.Name())
+}
+
+// minErrCore returns the erroring core whose failing event has the minimal
+// (at, vseq) key — the error the sequential engine would hit first — or nil.
+func (e *ShardedEngine) minErrCore() *engineCore {
+	var best *engineCore
+	for i := range e.cores {
+		c := &e.cores[i]
+		if c.err == nil {
+			continue
+		}
+		if best == nil || c.curAt < best.curAt ||
+			(c.curAt == best.curAt && c.curVseq < best.curVseq) {
+			best = c
+		}
+	}
+	return best
+}
+
+// mergeStaged k-way merges every core's outbox by the sending event's key
+// (pAt, pVseq) — globally unique, so ties exist only within one core, where
+// list order already preserves them — assigns consecutive vseq numbers in
+// merged order, and routes each event to its destination shard's inbox. It
+// returns the minimum delivery time routed, for the next window anchor.
+func (e *ShardedEngine) mergeStaged(globalVseq *int64) Time {
+	inboxMin := infTime
+	cur := e.cursors
+	for i := range cur {
+		cur[i] = 0
+	}
+	for {
+		best := -1
+		for i := range e.cores {
+			st := e.cores[i].staged
+			if cur[i] >= len(st) {
+				continue
+			}
+			if best == -1 || parentLess(&st[cur[i]], &e.cores[best].staged[cur[best]]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		sd := &e.cores[best].staged[cur[best]]
+		cur[best]++
+		ev := sd.ev
+		ev.seq = *globalVseq
+		*globalVseq++
+		if ev.at < inboxMin {
+			inboxMin = ev.at
+		}
+		//lint:noalloc-ok inboxes grow to their high-water window size, then reuse the array (the barrier truncates, keeping capacity)
+		e.inboxes[sd.dest] = append(e.inboxes[sd.dest], ev)
+	}
+	for i := range e.cores {
+		truncateStaged(&e.cores[i])
+	}
+	return inboxMin
+}
+
+// parentLess orders staged sends by sending-event key.
+func parentLess(x, y *stagedSend) bool {
+	if x.pAt != y.pAt {
+		return x.pAt < y.pAt
+	}
+	return x.pVseq < y.pVseq
+}
+
+// replay k-way merges every core's deferred observer records by event key
+// and replays them — in exactly the order the sequential engine would have
+// made the calls — up to and including the key (maxAt, maxVseq). Cores
+// truncate their record lists afterwards.
+func (e *ShardedEngine) replay(obs Observer, maxAt Time, maxVseq int64) {
+	cur := e.cursors
+	for i := range cur {
+		cur[i] = 0
+	}
+	for {
+		best := -1
+		for i := range e.cores {
+			rec := e.cores[i].rec
+			if cur[i] >= len(rec) {
+				continue
+			}
+			if best == -1 || recordLess(&rec[cur[i]], &e.cores[best].rec[cur[best]]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		r := &e.cores[best].rec[cur[best]]
+		cur[best]++
+		if r.kAt > maxAt || (r.kAt == maxAt && r.kVseq > maxVseq) {
+			continue // beyond the error key: sequential never got here
+		}
+		switch r.kind {
+		case recWake:
+			obs.OnWake(r.kAt, r.node, r.adv)
+		case recDeliver:
+			obs.OnDeliver(r.kAt, r.node, r.d)
+		case recSend:
+			obs.OnSend(r.kAt, r.node, r.port, r.d.Msg)
+		}
+	}
+	for i := range e.cores {
+		truncateRec(&e.cores[i])
+	}
+}
+
+// recordLess orders observer records by event key. Records within one core
+// share keys (one event makes several calls); list order preserves them.
+func recordLess(x, y *obsRecord) bool {
+	if x.kAt != y.kAt {
+		return x.kAt < y.kAt
+	}
+	return x.kVseq < y.kVseq
+}
+
+// truncateStaged and truncateRec empty a core's barrier buffers, releasing
+// payload references but keeping capacity for the next window.
+func truncateStaged(c *engineCore) {
+	if len(c.staged) > 0 {
+		clear(c.staged)
+		c.staged = c.staged[:0]
+	}
+}
+
+func truncateRec(c *engineCore) {
+	if len(c.rec) > 0 {
+		clear(c.rec)
+		c.rec = c.rec[:0]
+	}
+}

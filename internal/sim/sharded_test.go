@@ -1,0 +1,428 @@
+package sim
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"riseandshine/internal/graph"
+)
+
+// shardCounts is the shard matrix every sharded test sweeps: the sequential
+// fallback (1), even and odd splits, and more shards than some test graphs
+// have "natural" parallelism for.
+var shardCounts = []int{1, 2, 3, 4, 8}
+
+// quantizedLookahead gives the quantized test delayer its honest lookahead:
+// values lie in {1/q, ..., 1}, so 1/q bounds every delay from below. Coarse
+// grids maximize timestamp collisions, making the cross-shard vseq
+// tie-break carry the full ordering burden.
+type quantizedLookahead struct{ quantizedDelay }
+
+func (d quantizedLookahead) Lookahead() float64 { return 1 / float64(d.q) }
+
+// shardedConfigs is the mixed workload for the sharded differential suite:
+// graphs that shrink and grow between runs (so reused engines exercise both
+// scratch paths), every lookahead-bearing delayer flavor, and both queue
+// implementations.
+func shardedConfigs(t *testing.T) []Config {
+	t.Helper()
+	graphs := []*graph.Graph{
+		graph.RandomConnected(60, 0.1, newTestRand(1)),
+		graph.Complete(12),
+		graph.Torus(5, 5),
+		graph.RandomConnected(90, 0.07, newTestRand(2)),
+		graph.Path(25),
+	}
+	delayers := []Delayer{
+		UnitDelay{},
+		RandomDelay{Seed: 11, Min: 0.25},
+		quantizedLookahead{quantizedDelay{inner: RandomDelay{Seed: 3}, q: 4}},
+		BiasedDelay{Slow: map[[2]int]bool{{0, 1}: true, {3, 2}: true}, Fast: 0.2},
+	}
+	var cfgs []Config
+	for i, g := range graphs {
+		for j, d := range delayers {
+			cfgs = append(cfgs, Config{
+				Graph: g,
+				Model: Model{Knowledge: KT0, Bandwidth: Local},
+				Adversary: Adversary{
+					Schedule: RandomWake{Count: 1 + (i+j)%4, Window: 2, Seed: int64(i*7 + j)},
+					Delays:   d,
+				},
+				Seed:          int64(i + j*5),
+				Queue:         QueueKind((i + j) % 2),
+				RecordDigests: true,
+			})
+		}
+	}
+	return cfgs
+}
+
+// runTraced executes cfg on the given engine with a trace attached and
+// returns the Result plus the raw trace bytes.
+func runTraced(t *testing.T, run func(Config, Algorithm) (*Result, error), cfg Config, alg Algorithm) (*Result, string) {
+	t.Helper()
+	var trace bytes.Buffer
+	cfg.Trace = &trace
+	res, err := run(cfg, alg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res, trace.String()
+}
+
+// TestShardedByteIdentical is the tentpole differential: across the mixed
+// workload, every shard count, both queues, and reused engines, the sharded
+// engine's marshaled Result (digests included) and its event trace must be
+// byte-for-byte the sequential engine's.
+func TestShardedByteIdentical(t *testing.T) {
+	engines := map[int]*ShardedEngine{}
+	for _, p := range shardCounts {
+		engines[p] = &ShardedEngine{}
+	}
+	for i, cfg := range shardedConfigs(t) {
+		alg := fuzzAlg{budget: 12}
+		seqRes, seqTrace := runTraced(t, RunAsync, cfg, alg)
+		want := marshalResult(t, seqRes)
+		for _, p := range shardCounts {
+			cfg.Shards = p
+			shRes, shTrace := runTraced(t, engines[p].Run, cfg, alg)
+			if got := marshalResult(t, shRes); !bytes.Equal(want, got) {
+				t.Fatalf("config %d shards %d: Result diverged\nseq:     %s\nsharded: %s", i, p, want, got)
+			}
+			if shTrace != seqTrace {
+				t.Fatalf("config %d shards %d: trace diverged from sequential", i, p)
+			}
+		}
+	}
+}
+
+// TestShardedActuallyShards guards the differential suite against silently
+// degrading into fallback-vs-sequential: with a lookahead-bearing delayer
+// the memory report must show the parallel path ran.
+func TestShardedActuallyShards(t *testing.T) {
+	res, err := RunSharded(Config{
+		Graph:     graph.Complete(16),
+		Model:     Model{Knowledge: KT0, Bandwidth: Local},
+		Adversary: Adversary{Schedule: WakeSet{Nodes: []int{0}}, Delays: UnitDelay{}},
+		Shards:    4,
+		MemReport: true,
+	}, floodAlg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem == nil || res.Mem.Shards != 4 {
+		t.Fatalf("expected a 4-shard parallel run, got Mem=%+v", res.Mem)
+	}
+	if res.Mem.OutboxBytes == 0 {
+		t.Error("parallel run reported no outbox scratch")
+	}
+}
+
+// TestShardedFallbackWithoutLookahead: a Delayer with no positive lookahead
+// admits no conservative window, so the engine must take the sequential
+// fallback — and still match the sequential engine exactly.
+func TestShardedFallbackWithoutLookahead(t *testing.T) {
+	cfg := Config{
+		Graph: graph.RandomConnected(40, 0.12, newTestRand(9)),
+		Model: Model{Knowledge: KT0, Bandwidth: Local},
+		Adversary: Adversary{
+			Schedule: RandomWake{Count: 2, Window: 1, Seed: 4},
+			Delays:   RandomDelay{Seed: 8}, // Min = 0: lookahead 0
+		},
+		Seed:          3,
+		Shards:        4,
+		RecordDigests: true,
+		MemReport:     true,
+	}
+	alg := fuzzAlg{budget: 10}
+	shRes, err := RunSharded(cfg, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shRes.Mem.Shards > 1 {
+		t.Fatalf("zero-lookahead run used %d shards, want sequential fallback", shRes.Mem.Shards)
+	}
+	seqRes, err := RunAsync(cfg, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := marshalResult(t, seqRes), marshalResult(t, shRes); !bytes.Equal(a, b) {
+		t.Fatalf("fallback diverged\nseq:      %s\nfallback: %s", a, b)
+	}
+}
+
+// TestShardedEventLimitError: the event-budget abort must surface the exact
+// sequential error string at every shard count, with a nil Result.
+func TestShardedEventLimitError(t *testing.T) {
+	cfg := Config{
+		Graph:     graph.Complete(20),
+		Model:     Model{Knowledge: KT0, Bandwidth: Local},
+		Adversary: Adversary{Schedule: WakeAll{}, Delays: UnitDelay{}},
+		MaxEvents: 25,
+	}
+	_, seqErr := RunAsync(cfg, chattyAlg{})
+	if seqErr == nil {
+		t.Fatal("sequential run unexpectedly fit the event budget")
+	}
+	for _, p := range shardCounts {
+		cfg.Shards = p
+		res, err := RunSharded(cfg, chattyAlg{})
+		if err == nil || err.Error() != seqErr.Error() {
+			t.Fatalf("shards %d: error %v, want %v", p, err, seqErr)
+		}
+		if res != nil {
+			t.Fatalf("shards %d: non-nil Result alongside the event-limit error", p)
+		}
+	}
+}
+
+// TestAsyncRoundSentinel pins the satellite contract: both asynchronous
+// engines report the named AsyncRound sentinel — the same value — from
+// every handler invocation, and the constant itself stays negative (the
+// documented "Round() < 0 means asynchronous" branch).
+func TestAsyncRoundSentinel(t *testing.T) {
+	if AsyncRound >= 0 {
+		t.Fatalf("AsyncRound = %d; synchronous rounds are ≥ 0, the sentinel must be negative", AsyncRound)
+	}
+	cfg := Config{
+		Graph:     graph.Complete(8),
+		Model:     Model{Knowledge: KT0, Bandwidth: Local},
+		Adversary: Adversary{Schedule: WakeSet{Nodes: []int{0}}, Delays: UnitDelay{}},
+		Shards:    2,
+	}
+	var mu sync.Mutex // probes fire from shard goroutines
+	seen := map[string]map[int]bool{}
+	record := func(engine string, r int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if seen[engine] == nil {
+			seen[engine] = map[int]bool{}
+		}
+		seen[engine][r] = true
+	}
+	if _, err := RunAsync(cfg, roundProbeAlg{func(r int) { record("async", r) }}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSharded(cfg, roundProbeAlg{func(r int) { record("sharded", r) }}); err != nil {
+		t.Fatal(err)
+	}
+	for engine, rounds := range seen {
+		if len(rounds) != 1 || !rounds[AsyncRound] {
+			t.Errorf("%s engine reported rounds %v, want exactly {AsyncRound}", engine, rounds)
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("probe ran on %d engines, want 2", len(seen))
+	}
+}
+
+// roundProbeAlg reports ctx.Round() from both handler kinds. The probe
+// function is called from shard goroutines in sharded runs and must be
+// concurrency-safe.
+type roundProbeAlg struct{ probe func(int) }
+
+func (roundProbeAlg) Name() string { return "round-probe" }
+func (a roundProbeAlg) NewMachine(NodeInfo) Program {
+	return roundProbe{a.probe}
+}
+
+type roundProbe struct{ probe func(int) }
+
+func (m roundProbe) OnWake(ctx Context) {
+	m.probe(ctx.Round())
+	ctx.Broadcast(pingMsg{})
+}
+func (m roundProbe) OnMessage(ctx Context, _ Delivery) { m.probe(ctx.Round()) }
+
+// FuzzShardedFIFO is the cross-shard FIFO property fuzz: under quantized
+// adversarial delays (maximal timestamp collisions) every shard count must
+// keep per-directed-edge deliveries in non-decreasing time order and
+// reproduce the sequential trace and Result byte for byte — engines reused
+// across fuzz inputs.
+func FuzzShardedFIFO(f *testing.F) {
+	f.Add(int64(1), uint8(30), uint8(2), uint8(6))
+	f.Add(int64(-9), uint8(7), uint8(1), uint8(12))
+	f.Add(int64(1<<33), uint8(255), uint8(4), uint8(3))
+	engines := map[int]*ShardedEngine{}
+	for _, p := range shardCounts {
+		engines[p] = &ShardedEngine{}
+	}
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, qRaw, budget uint8) {
+		n := int(nRaw)%40 + 2
+		q := int(qRaw)%8 + 1
+		g := graph.RandomConnected(n, 0.15, newTestRand(seed))
+		cfg := Config{
+			Graph: g,
+			Ports: graph.RandomPorts(g, newTestRand(seed+1)),
+			Model: Model{Knowledge: KT0, Bandwidth: Local},
+			Adversary: Adversary{
+				Schedule: RandomWake{Count: int(nRaw)%3 + 1, Window: 2, Seed: seed},
+				Delays:   quantizedLookahead{quantizedDelay{inner: RandomDelay{Seed: seed}, q: q}},
+			},
+			Seed:          seed,
+			Queue:         QueueKind(int(qRaw) % 2),
+			RecordDigests: true,
+		}
+		alg := fuzzAlg{budget: int(budget)%16 + 1}
+		seqRes, seqTrace := runTraced(t, RunAsync, cfg, alg)
+		want := marshalResult(t, seqRes)
+		for _, p := range shardCounts {
+			cfg.Shards = p
+			shRes, shTrace := runTraced(t, engines[p].Run, cfg, alg)
+			if shTrace != seqTrace {
+				t.Fatalf("shards %d: trace diverged from sequential", p)
+			}
+			if got := marshalResult(t, shRes); !bytes.Equal(want, got) {
+				t.Fatalf("shards %d: Result diverged\nseq:     %s\nsharded: %s", p, want, got)
+			}
+			assertTraceFIFO(t, shTrace, shRes.Messages)
+		}
+	})
+}
+
+// assertTraceFIFO parses a trace and checks both ordering contracts: global
+// replay in non-decreasing time and per-(receiver, port) FIFO delivery.
+func assertTraceFIFO(t *testing.T, trace string, messages int) {
+	t.Helper()
+	type edge struct{ node, port int }
+	lastEdge := make(map[edge]float64)
+	lastAt := 0.0
+	deliveries := 0
+	for i, line := range strings.Split(trace, "\n") {
+		if i == 0 || line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		at, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			t.Fatalf("trace line %d: bad time %q", i, fields[0])
+		}
+		if at < lastAt {
+			t.Fatalf("event replay out of time order: %g after %g (line %d)", at, lastAt, i)
+		}
+		lastAt = at
+		if fields[1] != "deliver" {
+			continue
+		}
+		node, _ := strconv.Atoi(fields[2])
+		port, _ := strconv.Atoi(fields[3])
+		e := edge{node, port}
+		if prev, ok := lastEdge[e]; ok && at < prev {
+			t.Fatalf("FIFO violation on edge into node %d port %d: %g after %g", node, port, at, prev)
+		}
+		lastEdge[e] = at
+		deliveries++
+	}
+	if deliveries == 0 && messages > 0 {
+		t.Fatal("trace recorded no deliveries despite message traffic")
+	}
+}
+
+// TestShardedSteadyStateZeroAllocs is the sharded counterpart of the
+// sequential zero-alloc guard: with a prebuilt Setup and a warmed engine,
+// the per-run allocation count is a constant — goroutine spawns, shard
+// views, and the Result assembly — independent of graph size and message
+// volume, i.e. the window machinery allocates nothing per delivered
+// message.
+func TestShardedSteadyStateZeroAllocs(t *testing.T) {
+	measure := func(n int) (allocs float64, messages int) {
+		g := graph.Complete(n)
+		s, err := NewSetup(g, nil, Model{Knowledge: KT0, Bandwidth: Local}, 1, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := &ShardedEngine{}
+		cfg := Config{
+			Graph:     g,
+			Model:     Model{Knowledge: KT0, Bandwidth: Local},
+			Adversary: Adversary{Schedule: WakeSet{Nodes: []int{0}}, Delays: UnitDelay{}},
+			Seed:      1,
+			Setup:     s,
+			Shards:    4,
+		}
+		run := func() *Result {
+			res, err := eng.Run(cfg, floodAlg{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		messages = run().Messages // warms scratch, queues, outboxes
+		return testing.AllocsPerRun(5, func() { run() }), messages
+	}
+	smallAllocs, smallMsgs := measure(12)
+	bigAllocs, bigMsgs := measure(40)
+	if bigMsgs < 8*smallMsgs {
+		t.Fatalf("workloads not separated: %d vs %d messages", smallMsgs, bigMsgs)
+	}
+	if bigAllocs != smallAllocs {
+		t.Errorf("allocation count scales with traffic: %.0f allocs at %d msgs, %.0f allocs at %d msgs (want equal)",
+			smallAllocs, smallMsgs, bigAllocs, bigMsgs)
+	}
+	// Per-run constant: the sequential engine's Result assembly plus the
+	// per-run worker spawn (4 goroutines, 4 channels, 4 shard views).
+	if bigAllocs > 80 {
+		t.Errorf("per-run constant allocation count too high: %.0f", bigAllocs)
+	}
+	t.Logf("allocs/run: %.0f (at %d msgs) and %.0f (at %d msgs)", smallAllocs, smallMsgs, bigAllocs, bigMsgs)
+}
+
+// TestPartitionInvariants checks the contiguous balanced partition on a
+// spread of topologies and shard counts: bounds cover [0, n) contiguously
+// with every shard non-empty, NodeShard agrees with the bounds, EdgeShard
+// routes to the receiver's shard, and out-of-range P clamps.
+func TestPartitionInvariants(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Complete(9),
+		graph.Path(31),
+		graph.Torus(6, 5),
+		graph.Star(40),
+		graph.RandomConnected(77, 0.08, newTestRand(5)),
+	}
+	for gi, g := range graphs {
+		s, err := NewSetup(g, nil, Model{Knowledge: KT0, Bandwidth: Local}, 0, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.N()
+		for _, p := range []int{1, 2, 3, 7, n, n + 5, 1000, 0, -3} {
+			pt := s.Partition(p)
+			wantP := p
+			if wantP > n {
+				wantP = n
+			}
+			if wantP > 256 {
+				wantP = 256
+			}
+			if wantP < 1 {
+				wantP = 1
+			}
+			if pt.P != wantP {
+				t.Fatalf("graph %d: Partition(%d).P = %d, want %d", gi, p, pt.P, wantP)
+			}
+			if len(pt.Bounds) != pt.P+1 || pt.Bounds[0] != 0 || int(pt.Bounds[pt.P]) != n {
+				t.Fatalf("graph %d p %d: bounds %v do not cover [0,%d)", gi, p, pt.Bounds, n)
+			}
+			for i := 0; i < pt.P; i++ {
+				if pt.Bounds[i] >= pt.Bounds[i+1] {
+					t.Fatalf("graph %d p %d: shard %d is empty or reversed: %v", gi, p, i, pt.Bounds)
+				}
+				for v := pt.Bounds[i]; v < pt.Bounds[i+1]; v++ {
+					if int(pt.NodeShard[v]) != i {
+						t.Fatalf("graph %d p %d: NodeShard[%d] = %d, want %d", gi, p, v, pt.NodeShard[v], i)
+					}
+				}
+			}
+			for ei := range pt.EdgeShard {
+				if pt.EdgeShard[ei] != pt.NodeShard[s.EdgeTo[ei]] {
+					t.Fatalf("graph %d p %d: EdgeShard[%d] = %d, want receiver's shard %d",
+						gi, p, ei, pt.EdgeShard[ei], pt.NodeShard[s.EdgeTo[ei]])
+				}
+			}
+		}
+	}
+}

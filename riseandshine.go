@@ -96,6 +96,13 @@ type (
 	// Pass one per sweep worker via RunConfig.Engine; the zero value is
 	// ready to use. Not safe for concurrent use.
 	Engine = sim.AsyncEngine
+	// ShardedEngine is the conservative parallel engine: one run
+	// partitioned across RunConfig.Shards contiguous node ranges, each on
+	// its own goroutine, synchronized at delay-lookahead windows, with
+	// Results byte-identical to the sequential Engine at every shard count.
+	// Pass one per sweep worker via RunConfig.Sharded; the zero value is
+	// ready to use. Not safe for concurrent use.
+	ShardedEngine = sim.ShardedEngine
 	// QueueKind selects the asynchronous engine's event-queue
 	// implementation; any kind produces byte-identical Results.
 	QueueKind = sim.QueueKind
@@ -103,6 +110,11 @@ type (
 	// run (see RunConfig.MemReport).
 	MemReport = sim.MemReport
 )
+
+// AsyncRound is the sentinel Context.Round returns in the asynchronous
+// engines (sequential and sharded alike); synchronous rounds are ≥ 0, so
+// Round() < 0 is the engine-transparent "am I asynchronous" branch.
+const AsyncRound = sim.AsyncRound
 
 // Event-queue implementations for RunConfig.Queue.
 const (

@@ -57,6 +57,18 @@ type RunConfig struct {
 	// fresh ones. An Engine is not safe for concurrent use — give each
 	// sweep worker its own. Synchronous algorithms ignore it.
 	Engine *Engine
+	// Shards, when > 1, runs the asynchronous engine sharded: the graph is
+	// partitioned into that many contiguous node ranges, each driven by its
+	// own event loop on its own goroutine, synchronized at windows of the
+	// delay adversary's lookahead. Results are byte-identical to the
+	// sequential engine at every shard count; a Delayer without a positive
+	// Lookahead falls back to the sequential path. Synchronous algorithms
+	// ignore it.
+	Shards int
+	// Sharded, when non-nil, supplies reusable sharded-engine scratch for
+	// Shards > 1 runs (the analogue of Engine). Not safe for concurrent
+	// use — give each sweep worker its own.
+	Sharded *ShardedEngine
 	// Queue selects the asynchronous engine's event-queue implementation.
 	// The zero value is the 4-ary heap; QueueCalendar switches to the
 	// calendar queue, which pops in byte-identical order. Synchronous
@@ -214,8 +226,15 @@ func (p *Prepared) Run(cfg RunConfig) (*Result, error) {
 		Observer:      observer,
 		Queue:         cfg.Queue,
 		MemReport:     cfg.MemReport,
+		Shards:        cfg.Shards,
 	}
 	alg := p.info.newAsync(cfg.Options)
+	if cfg.Shards > 1 {
+		if cfg.Sharded != nil {
+			return cfg.Sharded.Run(simCfg, alg)
+		}
+		return sim.RunSharded(simCfg, alg)
+	}
 	if cfg.Engine != nil {
 		return cfg.Engine.Run(simCfg, alg)
 	}

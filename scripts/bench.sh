@@ -21,9 +21,9 @@ out="${2:-bench.json}"
 case "$mode" in
   quick)
     # BenchmarkRunAsync also matches the Calendar/Reuse/Metrics variants by
-    # prefix; the graph package contributes the build + BFS-scratch
-    # benchmarks.
-    pattern='BenchmarkRunAsync|BenchmarkEngine|BenchmarkDiameter|BenchmarkBuild'
+    # prefix; BenchmarkRunSharded adds the parallel-engine speedup curve;
+    # the graph package contributes the build + BFS-scratch benchmarks.
+    pattern='BenchmarkRunAsync|BenchmarkRunSharded|BenchmarkEngine|BenchmarkDiameter|BenchmarkBuild'
     packages='. ./internal/graph'
     benchtime='1x'
     count=1

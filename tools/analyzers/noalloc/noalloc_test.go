@@ -11,6 +11,14 @@ func TestNoalloc(t *testing.T) {
 	analysistest.Run(t, ".", noalloc.Analyzer, "a")
 }
 
+// TestNoallocStagedOutbox pins the staged-outbox idiom from the sharded
+// engine: a justified amortized append in the staging half, a
+// clear+truncate drain that verifies with no suppression at all, and
+// diagnostics on both broken variants (unjustified growth, realloc-drain).
+func TestNoallocStagedOutbox(t *testing.T) {
+	analysistest.Run(t, ".", noalloc.Analyzer, "outbox")
+}
+
 // TestNoallocCrossPackage proves the fact layer does the work: dep's
 // AllocFree and NoAllocContract facts are serialized, decoded into use's
 // pass, and drive both the accepted dep.Fast call and the required

@@ -1,0 +1,72 @@
+// Package outbox fixes the staged-outbox idiom used by the sharded
+// engine's window barrier: hot code appends into a per-core staging
+// slice (amortized growth, justified suppression), and the barrier
+// drains it with clear + truncate-to-zero, which reuses the backing
+// array and must verify with no allocation sites at all.
+package outbox
+
+// send is one staged message: the payload plus the parent event key the
+// barrier merges on.
+type send struct {
+	at   float64
+	vseq int64
+	dest uint8
+	v    int
+}
+
+// core is the per-shard scratch: a staging outbox that grows to its
+// window high-water mark once and is then reused forever.
+type core struct {
+	staged []send
+	next   int64
+}
+
+// stage appends one outgoing message to the outbox. The append is the
+// deliberate amortized-growth site of the pattern: it doubles a bounded
+// number of times, then the barrier's truncate keeps the capacity.
+//
+//wakeup:noalloc
+func (c *core) stage(at float64, dest uint8, v int) {
+	//lint:noalloc-ok grows to the window's high-water outbox size, then reuses the array (the barrier truncates, keeping capacity)
+	c.staged = append(c.staged, send{at: at, vseq: c.next, dest: dest, v: v})
+	c.next++
+}
+
+// Inbox receives merged sends at the barrier. The contract makes calls
+// through the interface provable: every implementation must verify.
+type Inbox interface {
+	// Put routes one merged send into preallocated storage.
+	//
+	//wakeup:noalloc
+	Put(s send)
+}
+
+// drain is the barrier half: route every staged send, clear the
+// elements (they may hold pointers in the real engine), and truncate to
+// length zero without touching capacity. No allocation site anywhere —
+// this half verifies without any suppression.
+//
+//wakeup:noalloc
+func (c *core) drain(in Inbox) {
+	for _, s := range c.staged {
+		in.Put(s)
+	}
+	clear(c.staged)
+	c.staged = c.staged[:0]
+}
+
+// leakyStage is the broken variant: same append, no justification. The
+// growth site must be diagnosed, not silently absorbed by the pattern.
+//
+//wakeup:noalloc
+func (c *core) leakyStage(v int) {
+	c.staged = append(c.staged, send{v: v}) // want `noalloc: append may grow its backing array`
+}
+
+// reallocDrain is the other broken variant: "truncating" by allocating a
+// fresh slice defeats the reuse the pattern exists for.
+//
+//wakeup:noalloc
+func (c *core) reallocDrain() {
+	c.staged = make([]send, 0) // want `noalloc: make allocates`
+}
