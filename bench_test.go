@@ -460,6 +460,43 @@ func BenchmarkRunAsync(b *testing.B) {
 	}
 }
 
+// BenchmarkRunAsyncExecTrace repeats two BenchmarkRunAsync workloads with
+// the flight recorder attached (wall clock, as the CLIs inject it). A
+// sequential run records only the three lifecycle spans, so the delta
+// against the matching BenchmarkRunAsync sub-benchmarks bounds the
+// enabled-tracer overhead from above the untraced cost; the disabled-path
+// cost is pinned separately (nil-check only, TestRecorderZeroAllocs).
+func BenchmarkRunAsyncExecTrace(b *testing.B) {
+	for _, spec := range []string{"torus:64x64", "binary:16383"} {
+		g, err := experiment.ParseGraph(spec, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(spec, func(b *testing.B) {
+			b.ReportAllocs()
+			rec := riseandshine.NewExecRecorder(riseandshine.ExecTimeClock())
+			events := 0
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunAsync(sim.Config{
+					Graph: g,
+					Model: sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest},
+					Adversary: sim.Adversary{
+						Schedule: sim.WakeAll{},
+						Delays:   sim.RandomDelay{Seed: int64(i)},
+					},
+					Seed:   int64(i),
+					Tracer: rec,
+				}, core.Flood{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
 // BenchmarkRunAsyncCalendar repeats the sparse BenchmarkRunAsync workloads
 // with the calendar event queue selected. Results are byte-identical to the
 // heap (TestCalendarEngineByteIdentical); the delta against the matching
@@ -612,6 +649,51 @@ func BenchmarkRunSharded(b *testing.B) {
 				b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 			})
 		}
+	}
+}
+
+// BenchmarkRunShardedExecTrace repeats one BenchmarkRunSharded workload
+// with the flight recorder attached: per-window busy/barrier spans on
+// every shard track plus merge/replay/window records on the coordinator —
+// the tracer's worst-case span rate. The delta against the matching
+// BenchmarkRunSharded sub-benchmarks is the enabled-tracer overhead.
+func BenchmarkRunShardedExecTrace(b *testing.B) {
+	const spec = "torus:400x400"
+	g, err := experiment.ParseGraph(spec, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}
+	setup, err := sim.NewSetup(g, nil, model, 0, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{2, 4} {
+		b.Run(fmt.Sprintf("%s/shards:%d", spec, p), func(b *testing.B) {
+			b.ReportAllocs()
+			eng := &sim.ShardedEngine{}
+			rec := riseandshine.NewExecRecorder(riseandshine.ExecTimeClock())
+			events := 0
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Run(sim.Config{
+					Graph: g,
+					Model: model,
+					Adversary: sim.Adversary{
+						Schedule: sim.WakeAll{},
+						Delays:   sim.RandomDelay{Seed: int64(i), Min: 0.25},
+					},
+					Seed:   int64(i),
+					Setup:  setup,
+					Shards: p,
+					Tracer: rec,
+				}, core.Flood{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
 	}
 }
 

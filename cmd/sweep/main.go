@@ -11,26 +11,32 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
-	_ "net/http/pprof" // /debug/pprof on the -http listener
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"riseandshine"
+	"riseandshine/internal/exectrace"
 	"riseandshine/internal/experiment"
 	"riseandshine/internal/stats"
 )
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
+		slog.New(exectrace.NewLogHandler(os.Stderr, slog.LevelInfo)).Error("sweep failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -56,9 +62,16 @@ func run() error {
 		progress    = flag.Bool("progress", false, "report completed/total runs with ETA on stderr")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this path")
 		memProfile  = flag.String("memprofile", "", "write a heap profile (taken after the sweep) to this path")
-		httpAddr    = flag.String("http", "", "serve live /metrics and /debug/pprof on this address while the sweep runs")
+		httpAddr    = flag.String("http", "", "serve live /metrics, /exectrace, and /debug/pprof on this address while the sweep runs")
+		execPath    = flag.String("exectrace", "", "record each run's execution timeline, write the final run's Chrome trace JSON (Perfetto-loadable) to this path, and print per-size stall summaries (with -mem: stall columns on the memory table)")
 	)
 	flag.Parse()
+
+	// All status output goes through the deterministic slog handler:
+	// level/msg/attr lines with no timestamps, so logs diff cleanly across
+	// runs. Completion order still depends on scheduling — the log, like
+	// the live registry, is not a deterministic output.
+	logger := slog.New(exectrace.NewLogHandler(os.Stderr, slog.LevelInfo))
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -88,6 +101,7 @@ func run() error {
 
 	// One spec per (size, seed) cell, in deterministic matrix order.
 	recordMetrics := *metricsPath != "" || *httpAddr != ""
+	recordExec := *execPath != "" || *httpAddr != ""
 	var specs []experiment.RunSpec
 	for _, n := range sizes {
 		for s := 0; s < *seeds; s++ {
@@ -103,6 +117,7 @@ func run() error {
 				Queue:         queueKind,
 				MemReport:     *mem,
 				Shards:        *shards,
+				ExecTrace:     recordExec,
 			})
 		}
 	}
@@ -124,19 +139,46 @@ func run() error {
 	live := riseandshine.NewMetricsRegistry()
 	runsDone := live.NewCounter("sweep_runs_completed_total", "runs finished so far")
 	riseandshine.NewMetricsObserver(live, 0) // pre-register the sim_* metrics so merges inherit their help text
+
+	// latestTrace holds the most recent completed run's rendered Chrome
+	// trace, published by the (serialized) Progress callback for the
+	// /exectrace endpoint.
+	var latestTrace atomic.Value // []byte
+	var srv *http.Server
 	if *httpAddr != "" {
-		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		// A dedicated mux and server — never the global DefaultServeMux —
+		// so the listener exposes exactly these routes and can be drained
+		// on completion (the wakeupd service groundwork).
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			if err := live.WritePrometheus(w); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
+		mux.HandleFunc("/exectrace", func(w http.ResponseWriter, _ *http.Request) {
+			b, _ := latestTrace.Load().([]byte)
+			if b == nil {
+				http.Error(w, "no completed run yet", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(b)
+		})
+		// The pprof handlers registered explicitly: a blank import would
+		// put them back on the DefaultServeMux this server avoids.
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		srv = &http.Server{Addr: *httpAddr, Handler: mux}
 		go func() {
-			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "sweep: http:", err)
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("http listener failed", "addr", *httpAddr, "err", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "sweep: serving /metrics and /debug/pprof on %s\n", *httpAddr)
+		logger.Info("serving", "addr", *httpAddr, "routes", "/metrics /exectrace /debug/pprof")
 	}
 
 	start := time.Now()
@@ -146,19 +188,36 @@ func run() error {
 			if r.Metrics != nil {
 				live.Merge(*r.Metrics)
 			}
+			if r.Exec != nil && srv != nil {
+				var buf bytes.Buffer
+				if err := r.Exec.WriteChromeTrace(&buf); err == nil {
+					latestTrace.Store(buf.Bytes())
+				}
+			}
 			if *progress {
 				elapsed := time.Since(start)
 				eta := time.Duration(0)
 				if done > 0 {
 					eta = time.Duration(float64(elapsed) / float64(done) * float64(total-done))
 				}
-				fmt.Fprintf(os.Stderr, "sweep: %d/%d runs (%.0f%%) elapsed %s eta %s\n",
-					done, total, 100*float64(done)/float64(total),
-					elapsed.Round(time.Millisecond), eta.Round(time.Millisecond))
+				logger.Info("progress", "done", done, "total", total,
+					"pct", fmt.Sprintf("%.0f", 100*float64(done)/float64(total)),
+					"elapsed", elapsed.Round(time.Millisecond), "eta", eta.Round(time.Millisecond))
 			}
 		}
 	}
 	results, err := runner.Run(specs)
+	if srv != nil {
+		// The sweep is the server's only reason to exist: drain in-flight
+		// scrapes and release the port before emitting the final tables.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if serr := srv.Shutdown(ctx); serr != nil {
+			logger.Warn("http shutdown", "err", serr)
+		} else {
+			logger.Info("http listener drained", "addr", *httpAddr)
+		}
+		cancel()
+	}
 	if err != nil {
 		return err
 	}
@@ -166,7 +225,7 @@ func run() error {
 		if err := writeMetricsJSONL(*metricsPath, specs, results); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "sweep: wrote %d metrics records to %s\n", len(results), *metricsPath)
+		logger.Info("wrote metrics", "records", len(results), "path", *metricsPath)
 	}
 
 	tbl := &experiment.Table{Header: []string{"n", "m", "time", "wake-span", "messages", "bits", "advice-max", "advice-avg"}}
@@ -218,10 +277,17 @@ func run() error {
 	if *mem {
 		// Seed 0's report per size: the footprint is a function of the
 		// topology and traffic, not the seed, up to hash-dependent in-flight
-		// population — one sample per size is representative.
-		memTbl := &experiment.Table{Header: []string{"n", "queue", "shards", "total", "queue-bytes", "fifo", "rng", "csr", "nodes", "outbox"}}
+		// population — one sample per size is representative. With
+		// -exectrace the table gains stall columns from the same sample run
+		// (wall-clock derived: representative, not deterministic).
+		header := []string{"n", "queue", "shards", "total", "queue-bytes", "fifo", "rng", "csr", "nodes", "outbox"}
+		if recordExec {
+			header = append(header, "busy", "barrier", "merge", "imbal")
+		}
+		memTbl := &experiment.Table{Header: header}
 		for i, n := range sizes {
-			m := results[i*(*seeds)].Res.Mem
+			rr := results[i*(*seeds)]
+			m := rr.Res.Mem
 			if m == nil {
 				continue
 			}
@@ -229,13 +295,47 @@ func run() error {
 			if shardsCol < 1 {
 				shardsCol = 1
 			}
-			memTbl.Add(n, m.Queue, shardsCol, riseandshine.FormatBytes(m.TotalBytes),
+			row := []any{n, m.Queue, shardsCol, riseandshine.FormatBytes(m.TotalBytes),
 				riseandshine.FormatBytes(m.QueueBytes), riseandshine.FormatBytes(m.FIFOBytes),
 				riseandshine.FormatBytes(m.RNGBytes), riseandshine.FormatBytes(m.CSRBytes),
-				riseandshine.FormatBytes(m.NodeBytes), riseandshine.FormatBytes(m.OutboxBytes))
+				riseandshine.FormatBytes(m.NodeBytes), riseandshine.FormatBytes(m.OutboxBytes)}
+			if recordExec {
+				row = append(row, stallColumns(rr.Exec)...)
+			}
+			memTbl.Add(row...)
 		}
 		fmt.Println()
 		fmt.Print(memTbl)
+	}
+
+	if *execPath != "" {
+		// Per-size stall summary from seed 0's recorder (same sampling rule
+		// as -mem), then the full Chrome trace of the final run in matrix
+		// order — a deterministic pick of the largest, most interesting cell.
+		fmt.Println()
+		for i, n := range sizes {
+			rec := results[i*(*seeds)].Exec
+			if rec == nil {
+				continue
+			}
+			rep := rec.Stall()
+			fmt.Printf("exectrace n=%-7d windows=%-6d imbalance=%.2f busy=%s barrier=%s merge=%s\n",
+				n, rep.Windows, rep.Imbalance, sumBusy(rep), sumBarrier(rep), sumMerge(rep))
+		}
+		if last := results[len(results)-1].Exec; last != nil {
+			f, err := os.Create(*execPath)
+			if err != nil {
+				return err
+			}
+			if err := last.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			logger.Info("wrote exectrace", "path", *execPath, "viewer", "https://ui.perfetto.dev")
+		}
 	}
 
 	candidates := []stats.Model{
@@ -278,6 +378,44 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// stallColumns renders one recorder's aggregate stalls as -mem table
+// cells: shard busy/barrier sums, coordinator merge time, and the
+// busy-imbalance ratio.
+func stallColumns(rec *riseandshine.ExecRecorder) []any {
+	if rec == nil {
+		return []any{"-", "-", "-", "-"}
+	}
+	rep := rec.Stall()
+	return []any{sumBusy(rep), sumBarrier(rep), sumMerge(rep), fmt.Sprintf("%.2f", rep.Imbalance)}
+}
+
+// sumBusy, sumBarrier, and sumMerge aggregate a stall report across
+// tracks: busy/barrier over the shard tracks (the engine track for
+// sequential runs), merge from the coordinator.
+func sumBusy(rep riseandshine.ExecStallReport) time.Duration {
+	var v int64
+	for _, ts := range rep.Tracks {
+		v += ts.BusyNS + ts.RunNS
+	}
+	return time.Duration(v).Round(time.Microsecond)
+}
+
+func sumBarrier(rep riseandshine.ExecStallReport) time.Duration {
+	var v int64
+	for _, ts := range rep.Tracks[min(1, len(rep.Tracks)):] {
+		v += ts.BarrierNS
+	}
+	return time.Duration(v).Round(time.Microsecond)
+}
+
+func sumMerge(rep riseandshine.ExecStallReport) time.Duration {
+	var v int64
+	for _, ts := range rep.Tracks {
+		v += ts.MergeNS
+	}
+	return time.Duration(v).Round(time.Microsecond)
 }
 
 // formatSlopes renders a pairwise-slope sequence compactly.

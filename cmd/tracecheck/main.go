@@ -1,0 +1,136 @@
+// Command tracecheck validates a Chrome trace-event JSON file as written
+// by the flight recorder (wakeup/sweep -exectrace): well-formed JSON,
+// metadata records before span events, one thread-name per track,
+// per-track monotone timestamps, strictly matched B/E span nesting, and
+// thread-scoped instants. CI runs it over the sharded smoke trace; it is
+// equally useful on any trace before loading it into Perfetto.
+//
+// Usage:
+//
+//	tracecheck trace.json
+//	sweep ... -exectrace trace.json && tracecheck trace.json
+//
+// On success it prints one summary line and exits 0; any violation is
+// reported with its event index and the exit status is 1.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json|->")
+		os.Exit(2)
+	}
+	if err := check(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+// event is the superset of the fields the recorder emits; unknown fields
+// in future traces are ignored rather than rejected.
+type event struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	S    string  `json:"s"`
+}
+
+func check(path string) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+		TimeUnit    string            `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		return fmt.Errorf("not valid trace JSON: %w", err)
+	}
+	if trace.TimeUnit != "ms" {
+		return fmt.Errorf("displayTimeUnit = %q, want \"ms\"", trace.TimeUnit)
+	}
+	if len(trace.TraceEvents) == 0 {
+		return fmt.Errorf("trace has no events")
+	}
+
+	threadNames := map[int]int{}
+	lastTs := map[int]float64{}
+	stacks := map[int][]string{}
+	spans, instants := 0, 0
+	sawSpans := false
+	for i, raw := range trace.TraceEvents {
+		var ev event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+		if ev.Pid != 0 {
+			return fmt.Errorf("event %d: pid = %d, want 0", i, ev.Pid)
+		}
+		if ev.Ph == "M" {
+			if sawSpans {
+				return fmt.Errorf("event %d: metadata record after span events", i)
+			}
+			if ev.Name == "thread_name" {
+				threadNames[ev.Tid]++
+			}
+			continue
+		}
+		sawSpans = true
+		if prev, ok := lastTs[ev.Tid]; ok && ev.Ts < prev {
+			return fmt.Errorf("event %d (tid %d): ts %v goes backwards (previous %v)", i, ev.Tid, ev.Ts, prev)
+		}
+		lastTs[ev.Tid] = ev.Ts
+		switch ev.Ph {
+		case "B":
+			stacks[ev.Tid] = append(stacks[ev.Tid], ev.Name)
+		case "E":
+			st := stacks[ev.Tid]
+			if len(st) == 0 {
+				return fmt.Errorf("event %d (tid %d): E %q with no open span", i, ev.Tid, ev.Name)
+			}
+			if top := st[len(st)-1]; top != ev.Name {
+				return fmt.Errorf("event %d (tid %d): E %q closes open span %q", i, ev.Tid, ev.Name, top)
+			}
+			stacks[ev.Tid] = st[:len(st)-1]
+			spans++
+		case "i":
+			if ev.S != "t" {
+				return fmt.Errorf("event %d: instant scope %q, want \"t\"", i, ev.S)
+			}
+			instants++
+		default:
+			return fmt.Errorf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+	if len(threadNames) == 0 {
+		return fmt.Errorf("trace has no thread_name metadata")
+	}
+	for tid, n := range threadNames {
+		if n != 1 {
+			return fmt.Errorf("tid %d has %d thread_name records, want 1", tid, n)
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) != 0 {
+			return fmt.Errorf("tid %d: %d spans never closed (%v)", tid, len(st), st)
+		}
+	}
+	fmt.Printf("tracecheck ok: %d events, %d tracks, %d spans, %d instants\n",
+		len(trace.TraceEvents), len(threadNames), spans, instants)
+	return nil
+}

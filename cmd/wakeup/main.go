@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"riseandshine"
 	"riseandshine/internal/experiment"
@@ -44,6 +45,7 @@ func run() error {
 		digest    = flag.Bool("digest", false, "record per-node transcript digests and print the run's combined FNV-64a digest")
 		metrics   = flag.String("metrics", "", "write the run's metrics (deterministic JSON: snapshot + frontier) to this path, '-' for stdout, and print a quantile summary")
 		critical  = flag.Bool("critical-path", false, "trace the causal DAG and print the critical path (longest causal chain ending at the last wake)")
+		exectrace = flag.String("exectrace", "", "record the run's execution timeline, write it as Chrome trace-event JSON (Perfetto-loadable) to this path, and print the stall report")
 	)
 	flag.Parse()
 
@@ -107,6 +109,11 @@ func run() error {
 		cobs = riseandshine.NewCausalObserver(g, ports)
 		cfg.Observer = riseandshine.StackObservers(cfg.Observer, cobs)
 	}
+	var rec *riseandshine.ExecRecorder
+	if *exectrace != "" {
+		rec = riseandshine.NewExecRecorder(riseandshine.ExecTimeClock())
+		cfg.ExecTrace = rec
+	}
 	res, err := riseandshine.Run(cfg)
 	if err != nil {
 		return err
@@ -157,6 +164,11 @@ func run() error {
 	if cobs != nil {
 		printCriticalPath(cobs.Report())
 	}
+	if rec != nil {
+		if err := writeExecTrace(*exectrace, rec); err != nil {
+			return err
+		}
+	}
 	if !res.AllAwake {
 		return fmt.Errorf("%d of %d nodes never woke up", res.N-res.AwakeCount, res.N)
 	}
@@ -191,6 +203,27 @@ func reportMetrics(path string, reg *riseandshine.MetricsRegistry, mobs *riseand
 		}
 		fmt.Printf("metrics    %-18s n=%-7d p50=%-9.4g p90=%-9.4g p99=%.4g\n",
 			h.Name, h.Count, h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99))
+	}
+	return nil
+}
+
+// writeExecTrace writes the recorded timeline as Chrome trace-event JSON
+// and prints the aggregate stall report, one "exectrace" line per track.
+func writeExecTrace(path string, rec *riseandshine.ExecRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("exectrace  wrote %s (load in https://ui.perfetto.dev)\n", path)
+	for _, line := range strings.Split(strings.TrimRight(rec.Stall().String(), "\n"), "\n") {
+		fmt.Printf("exectrace  %s\n", line)
 	}
 	return nil
 }

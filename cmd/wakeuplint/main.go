@@ -67,6 +67,7 @@ var deterministicPrefixes = []string{
 	"riseandshine/internal/core",
 	"riseandshine/internal/runtime",
 	"riseandshine/internal/experiment",
+	"riseandshine/internal/exectrace",
 	"riseandshine/internal/graph",
 	"riseandshine/internal/metrics",
 }

@@ -1,0 +1,180 @@
+package exectrace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+
+	"riseandshine/internal/sim"
+)
+
+// traceEvent is one Chrome trace-event object. Ts is in microseconds (the
+// trace-event convention), relative to the earliest recorded instant so
+// traces start at 0 regardless of the injected clock's epoch.
+type traceEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat,omitempty"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	S    string           `json:"s,omitempty"`    // instant scope
+	Args map[string]int64 `json:"args,omitempty"` // keys marshal sorted
+}
+
+// metaEvent is a process/thread-name metadata record.
+type metaEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// chromeTrace is the JSON-object trace container Perfetto and
+// chrome://tracing both accept.
+type chromeTrace struct {
+	TraceEvents []json.RawMessage `json:"traceEvents"`
+	TimeUnit    string            `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders every recorded span as Chrome trace-event JSON:
+// one thread (tid) per track, B/E duration pairs for spans, "i" instants
+// for window boundaries, with thread-name metadata naming the coordinator
+// and shards. Load the output in https://ui.perfetto.dev or
+// chrome://tracing. Call it only after the traced run returned.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	// Earliest instant across all tracks anchors ts = 0.
+	var base int64
+	seen := false
+	for i := range r.trks {
+		t := &r.trks[i]
+		if t.started && (!seen || t.first < base) {
+			base = t.first
+			seen = true
+		}
+	}
+
+	var evs []traceEvent
+	for i := range r.trks {
+		a, b := r.trks[i].ordered()
+		for _, s := range a {
+			evs = appendSpanEvents(evs, s, base)
+		}
+		for _, s := range b {
+			evs = appendSpanEvents(evs, s, base)
+		}
+	}
+	sortEvents(evs)
+
+	out := chromeTrace{TraceEvents: make([]json.RawMessage, 0, len(evs)+len(r.trks)+1), TimeUnit: "ms"}
+	appendRaw := func(v any) error {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		out.TraceEvents = append(out.TraceEvents, raw)
+		return nil
+	}
+	if err := appendRaw(metaEvent{Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]string{"name": "riseandshine engine"}}); err != nil {
+		return err
+	}
+	for i := range r.trks {
+		name := "engine"
+		if len(r.trks) > 1 {
+			if i == 0 {
+				name = "coordinator"
+			} else {
+				name = "shard " + strconv.Itoa(i-1)
+			}
+		}
+		if err := appendRaw(metaEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: i,
+			Args: map[string]string{"name": name}}); err != nil {
+			return err
+		}
+	}
+	for _, ev := range evs {
+		if err := appendRaw(ev); err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// appendSpanEvents expands one span into its trace events.
+func appendSpanEvents(evs []traceEvent, s sim.ExecSpan, base int64) []traceEvent {
+	tid := int(s.Track)
+	if s.Kind == sim.ExecWindow {
+		return append(evs, traceEvent{
+			Name: "window", Cat: "window", Ph: "i",
+			Ts: usSince(s.Start, base), Pid: 0, Tid: tid, S: "t",
+			Args: map[string]int64{"window": s.Window, "events": s.Events},
+		})
+	}
+	var args map[string]int64
+	switch s.Kind {
+	case sim.ExecBusy:
+		args = map[string]int64{"window": s.Window, "events": s.Events}
+	case sim.ExecBarrier, sim.ExecMerge, sim.ExecReplay:
+		args = map[string]int64{"window": s.Window}
+	case sim.ExecRun:
+		args = map[string]int64{"events": s.Events}
+	}
+	name := s.Kind.String()
+	evs = append(evs, traceEvent{Name: name, Cat: "engine", Ph: "B",
+		Ts: usSince(s.Start, base), Pid: 0, Tid: tid, Args: args})
+	return append(evs, traceEvent{Name: name, Cat: "engine", Ph: "E",
+		Ts: usSince(s.End, base), Pid: 0, Tid: tid})
+}
+
+// usSince converts a clock reading to microseconds relative to base.
+func usSince(t, base int64) float64 { return float64(t-base) / 1e3 }
+
+// sortEvents orders events for well-formed nesting: by timestamp, then by
+// track, then — at equal instants on one track — ends before begins
+// (adjacent spans tile: one span's E shares its ts with the next one's
+// B), with deeper spans closing before enclosing ones and enclosing
+// spans opening before nested ones.
+func sortEvents(evs []traceEvent) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		if pa, pb := phaseRank(a.Ph), phaseRank(b.Ph); pa != pb {
+			return pa < pb
+		}
+		da, db := depth(a.Name), depth(b.Name)
+		if a.Ph == "E" {
+			return da > db // inner closes first
+		}
+		return da < db // outer opens first
+	})
+}
+
+// phaseRank orders phases at one instant: close, then mark, then open.
+func phaseRank(ph string) int {
+	switch ph {
+	case "E":
+		return 0
+	case "i":
+		return 1
+	}
+	return 2
+}
+
+// depth is a span name's nesting level: lifecycle spans enclose
+// per-window spans.
+func depth(name string) int {
+	switch name {
+	case "setup", "run", "finish", "cell":
+		return 0
+	}
+	return 1
+}

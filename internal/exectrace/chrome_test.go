@@ -1,0 +1,65 @@
+package exectrace
+
+import (
+	"bytes"
+	"testing"
+
+	"riseandshine/internal/sim"
+)
+
+// TestChromeTraceGolden pins the exact bytes of the Chrome trace export
+// for a hand-built timeline: metadata first, ts rebased to the earliest
+// span, E-before-B tie-breaking, sorted args keys. Any format drift —
+// which would silently break Perfetto loading or downstream checkers —
+// shows up as a byte diff here.
+func TestChromeTraceGolden(t *testing.T) {
+	r := New(nil)
+	r.ExecBegin(2)
+	r.ExecRecord(sim.ExecSpan{Track: 0, Kind: sim.ExecSetup, Start: 1000, End: 2000})
+	r.ExecRecord(sim.ExecSpan{Track: 1, Kind: sim.ExecBusy, Window: 0, Events: 5, Start: 3000, End: 5000})
+	r.ExecRecord(sim.ExecSpan{Track: 0, Kind: sim.ExecWindow, Window: 1, Events: 5, Start: 6000, End: 6000})
+	r.ExecRecord(sim.ExecSpan{Track: 0, Kind: sim.ExecRun, Events: 5, Start: 2000, End: 8000})
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[` +
+		`{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"riseandshine engine"}},` +
+		`{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"coordinator"}},` +
+		`{"name":"thread_name","ph":"M","pid":0,"tid":1,"args":{"name":"shard 0"}},` +
+		`{"name":"setup","cat":"engine","ph":"B","ts":0,"pid":0,"tid":0},` +
+		`{"name":"setup","cat":"engine","ph":"E","ts":1,"pid":0,"tid":0},` +
+		`{"name":"run","cat":"engine","ph":"B","ts":1,"pid":0,"tid":0,"args":{"events":5}},` +
+		`{"name":"busy","cat":"engine","ph":"B","ts":2,"pid":0,"tid":1,"args":{"events":5,"window":0}},` +
+		`{"name":"busy","cat":"engine","ph":"E","ts":4,"pid":0,"tid":1},` +
+		`{"name":"window","cat":"window","ph":"i","ts":5,"pid":0,"tid":0,"s":"t","args":{"events":5,"window":1}},` +
+		`{"name":"run","cat":"engine","ph":"E","ts":7,"pid":0,"tid":0}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("trace bytes drifted:\ngot:  %s\nwant: %s", got, want)
+	}
+
+	// The export is a pure read: identical second render.
+	var buf2 bytes.Buffer
+	if err := r.WriteChromeTrace(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("re-rendering the same recorder produced different bytes")
+	}
+}
+
+// TestChromeTraceSingleTrackThreadName: sequential runs (one track) label
+// the sole thread "engine", not "coordinator".
+func TestChromeTraceSingleTrackThreadName(t *testing.T) {
+	r := New(nil)
+	r.ExecRecord(sim.ExecSpan{Track: 0, Kind: sim.ExecRun, Events: 1, Start: 0, End: 10})
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"engine"}}`)) {
+		t.Errorf("single-track trace missing engine thread name:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,111 @@
+package exectrace
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// logHandler is a deterministic slog.Handler for the CLIs and tests: it
+// renders `level=LEVEL msg="..." k=v ...` lines with the record's
+// timestamp dropped entirely, so two runs of the same sweep produce
+// byte-identical logs. Attribute order is preserved as written; groups
+// prefix their attrs with "group.". Output is serialized by a mutex
+// shared across WithAttrs/WithGroup derivatives.
+type logHandler struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	level  slog.Leveler
+	prefix string // accumulated group path, "" or "a.b."
+	preTxt string // preformatted attrs from WithAttrs
+}
+
+// NewLogHandler returns the deterministic handler writing to w, dropping
+// records below level (nil level means slog.LevelInfo).
+func NewLogHandler(w io.Writer, level slog.Leveler) slog.Handler {
+	if level == nil {
+		level = slog.LevelInfo
+	}
+	return &logHandler{mu: new(sync.Mutex), w: w, level: level}
+}
+
+func (h *logHandler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= h.level.Level()
+}
+
+func (h *logHandler) Handle(_ context.Context, rec slog.Record) error {
+	var b strings.Builder
+	b.WriteString("level=")
+	b.WriteString(rec.Level.String())
+	b.WriteString(" msg=")
+	appendValue(&b, rec.Message)
+	b.WriteString(h.preTxt)
+	rec.Attrs(func(a slog.Attr) bool {
+		appendAttr(&b, h.prefix, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+func (h *logHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	if len(attrs) == 0 {
+		return h
+	}
+	var b strings.Builder
+	b.WriteString(h.preTxt)
+	for _, a := range attrs {
+		appendAttr(&b, h.prefix, a)
+	}
+	h2 := *h
+	h2.preTxt = b.String()
+	return &h2
+}
+
+func (h *logHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	h2 := *h
+	h2.prefix = h.prefix + name + "."
+	return &h2
+}
+
+// appendAttr renders one attribute (and, recursively, group members).
+func appendAttr(b *strings.Builder, prefix string, a slog.Attr) {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		p := prefix
+		if a.Key != "" {
+			p = prefix + a.Key + "."
+		}
+		for _, ga := range v.Group() {
+			appendAttr(b, p, ga)
+		}
+		return
+	}
+	if a.Key == "" {
+		return
+	}
+	b.WriteByte(' ')
+	b.WriteString(prefix)
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	appendValue(b, v.String())
+}
+
+// appendValue quotes values containing spaces, quotes, or control
+// characters; bare tokens print as-is.
+func appendValue(b *strings.Builder, s string) {
+	if strings.ContainsAny(s, " \t\n\"=") || s == "" {
+		fmt.Fprintf(b, "%q", s)
+		return
+	}
+	b.WriteString(s)
+}

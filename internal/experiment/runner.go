@@ -1,12 +1,15 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
 	"riseandshine"
+	"riseandshine/internal/exectrace"
 	"riseandshine/internal/graph"
 	"riseandshine/internal/metrics"
 	"riseandshine/internal/sim"
@@ -57,6 +60,12 @@ type RunSpec struct {
 	// core budget is spent: prefer sweep-level parallelism (Workers) for
 	// many small runs and shards for a few huge ones.
 	Shards int
+	// ExecTrace records each run into its own flight recorder, published
+	// on RunResult.Exec. The recorder's clock comes from the Runner's
+	// injected Now (a deterministic counter clock when Now is nil), and
+	// its output — like Duration — is diagnostic wall-clock state excluded
+	// from every deterministic output.
+	ExecTrace bool
 }
 
 // RunResult pairs one completed run with the seed it used and the graph it
@@ -77,6 +86,9 @@ type RunResult struct {
 	// Causal carries the critical-path report when the spec enables
 	// CriticalPath.
 	Causal *sim.CausalReport
+	// Exec carries the run's flight recorder when the spec enables
+	// ExecTrace; read it with Stall or WriteChromeTrace.
+	Exec *exectrace.Recorder
 }
 
 // Runner executes a slice of RunSpecs over a bounded worker pool.
@@ -98,10 +110,27 @@ type Runner struct {
 	// endpoint) and must not derive deterministic output from it.
 	Progress func(done, total int, r RunResult)
 	// Now, when non-nil, supplies the wall-clock timestamps behind
-	// RunResult.Duration. The clock is injected by the driver so the
-	// deterministic packages never read time themselves (see the detrand
-	// analyzer); nil leaves durations zero.
+	// RunResult.Duration and the flight-recorder clock of ExecTrace
+	// cells. The clock is injected by the driver so the deterministic
+	// packages never read time themselves (see the detrand analyzer); nil
+	// leaves durations zero and gives recorders a counter clock.
 	Now func() time.Time
+	// Log, when non-nil, receives one structured record per completed run
+	// (and one per failed run) — the Runner's replacement for ad-hoc
+	// stderr progress prints. Calls are serialized with Progress; like
+	// Progress, completion order depends on scheduling, so drivers must
+	// not derive deterministic output from the log.
+	Log *slog.Logger
+}
+
+// execClock derives the flight-recorder clock from the injected Now; nil
+// (no injected clock) lets each recorder fall back to its deterministic
+// counter clock.
+func (r Runner) execClock() exectrace.Clock {
+	if r.Now == nil {
+		return nil
+	}
+	return func() int64 { return r.Now().UnixNano() }
 }
 
 // prepKey identifies one cacheable configuration: same topology instance,
@@ -187,14 +216,19 @@ func (r Runner) Run(specs []RunSpec) ([]RunResult, error) {
 				if r.Now != nil {
 					start = r.Now()
 				}
-				results[i], errs[i] = runOne(specs[i], sim.RunSeed(r.MasterSeed, i), cache, eng, sharded)
+				results[i], errs[i] = runOne(specs[i], sim.RunSeed(r.MasterSeed, i), cache, eng, sharded, r.execClock())
 				if r.Now != nil {
 					results[i].Duration = r.Now().Sub(start)
 				}
-				if r.Progress != nil {
+				if r.Progress != nil || r.Log != nil {
 					mu.Lock()
 					done++
-					r.Progress(done, len(specs), results[i])
+					if r.Log != nil {
+						logRun(r.Log, i, done, len(specs), results[i], errs[i])
+					}
+					if r.Progress != nil {
+						r.Progress(done, len(specs), results[i])
+					}
 					mu.Unlock()
 				}
 			}
@@ -213,10 +247,50 @@ func (r Runner) Run(specs []RunSpec) ([]RunResult, error) {
 	return results, nil
 }
 
+// logRun emits one structured completion record for run i.
+func logRun(log *slog.Logger, i, done, total int, rr RunResult, err error) {
+	if err != nil {
+		emit(log, slog.LevelWarn, "run failed", "run", i, "done", done, "total", total, "err", err)
+		return
+	}
+	attrs := []any{"run", i, "done", done, "total", total, "seed", rr.Seed}
+	if rr.Res != nil {
+		attrs = append(attrs, "events", rr.Res.Events, "messages", rr.Res.Messages)
+	}
+	if rr.Duration > 0 {
+		attrs = append(attrs, "duration", rr.Duration)
+	}
+	emit(log, slog.LevelInfo, "run complete", attrs...)
+}
+
+// emit hands a record straight to the logger's handler with a zero
+// timestamp. slog.Logger.Info would stamp the record with time.Now —
+// a wall-clock read inside a deterministic package — and the exectrace
+// handler discards timestamps anyway, so the clock is never consulted.
+func emit(log *slog.Logger, level slog.Level, msg string, attrs ...any) {
+	ctx := context.Background()
+	if !log.Enabled(ctx, level) {
+		return
+	}
+	rec := slog.NewRecord(time.Time{}, level, msg, 0)
+	rec.Add(attrs...)
+	_ = log.Handler().Handle(ctx, rec)
+}
+
 // runOne executes a single cell; it is also the sequential path (a Runner
 // with Workers == 1 calls exactly this, in order). cache, eng, and sharded
-// may be nil: they are pure reuse vehicles and never change the result.
-func runOne(spec RunSpec, seed int64, cache *prepCache, eng *riseandshine.Engine, sharded *riseandshine.ShardedEngine) (RunResult, error) {
+// may be nil: they are pure reuse vehicles and never change the result;
+// clock (nil = counter clock) only feeds the flight recorder of ExecTrace
+// cells.
+func runOne(spec RunSpec, seed int64, cache *prepCache, eng *riseandshine.Engine, sharded *riseandshine.ShardedEngine, clock exectrace.Clock) (RunResult, error) {
+	// The recorder is created before graph parsing so the cell span below
+	// covers the whole cell: parse, prepare, and run.
+	var rec *exectrace.Recorder
+	var cell0 int64
+	if spec.ExecTrace {
+		rec = exectrace.New(clock)
+		cell0 = rec.ExecNow()
+	}
 	g := spec.G
 	if g == nil {
 		var err error
@@ -271,6 +345,7 @@ func runOne(spec RunSpec, seed int64, cache *prepCache, eng *riseandshine.Engine
 		MemReport:     spec.MemReport,
 		Shards:        spec.Shards,
 		Sharded:       sharded,
+		ExecTrace:     rec,
 	}
 	var res *sim.Result
 	var prep *riseandshine.Prepared
@@ -287,7 +362,12 @@ func runOne(spec RunSpec, seed int64, cache *prepCache, eng *riseandshine.Engine
 	if err != nil {
 		return RunResult{}, err
 	}
-	rr := RunResult{Seed: seed, Graph: g, Res: res}
+	rr := RunResult{Seed: seed, Graph: g, Res: res, Exec: rec}
+	if rec != nil {
+		// The cell span lands after the engine's ExecBegin reset, so it
+		// survives on track 0 alongside the engine's lifecycle spans.
+		rec.ExecRecord(sim.ExecSpan{Track: 0, Kind: sim.ExecCell, Start: cell0, End: rec.ExecNow()})
+	}
 	if mobs != nil {
 		snap := reg.Snapshot()
 		rr.Metrics = &snap

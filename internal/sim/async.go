@@ -69,6 +69,13 @@ type Config struct {
 	// several with StackObservers. The hot path stays allocation-free when
 	// no observer is installed.
 	Observer Observer
+	// Tracer, when non-nil, receives execution spans (setup/run/finish for
+	// the sequential engines; per-window busy/barrier/merge/replay spans
+	// for the sharded engine). Timestamps come from the tracer's injected
+	// clock and never enter the Result, so a traced run stays
+	// byte-identical to an untraced one. Nil costs one pointer comparison
+	// per phase — never per event.
+	Tracer ExecTracer
 }
 
 const (
@@ -174,6 +181,12 @@ func maxEventsFor(cfg Config) int {
 // Run executes one configuration on the engine, resetting — not
 // reallocating — the scratch state left by any previous run.
 func (e *AsyncEngine) Run(cfg Config, alg Algorithm) (*Result, error) {
+	tr := cfg.Tracer
+	var t0 int64
+	if tr != nil {
+		tr.ExecBegin(1)
+		t0 = tr.ExecNow()
+	}
 	s, delays, wakeups, err := setupForRun(cfg, alg)
 	if err != nil {
 		return nil, err
@@ -223,6 +236,11 @@ func (e *AsyncEngine) Run(cfg Config, alg Algorithm) (*Result, error) {
 
 	maxEvents := maxEventsFor(cfg)
 	res := c.acct.Result()
+	var t1 int64
+	if tr != nil {
+		t1 = tr.ExecNow()
+		tr.ExecRecord(ExecSpan{Track: 0, Kind: ExecSetup, Start: t0, End: t1})
+	}
 	for c.queue.len() > 0 {
 		if res.Events >= maxEvents {
 			return nil, fmt.Errorf("sim: event limit %d exceeded (algorithm %q may not terminate)", maxEvents, alg.Name())
@@ -241,6 +259,12 @@ func (e *AsyncEngine) Run(cfg Config, alg Algorithm) (*Result, error) {
 		}
 	}
 
+	var t2 int64
+	if tr != nil {
+		t2 = tr.ExecNow()
+		tr.ExecRecord(ExecSpan{Track: 0, Kind: ExecRun, Events: int64(res.Events), Start: t1, End: t2})
+	}
+
 	c.acct.Finish(c.now)
 	if cfg.MemReport {
 		res.Mem = e.memReport(cfg.Queue)
@@ -254,6 +278,9 @@ func (e *AsyncEngine) Run(cfg Config, alg Algorithm) (*Result, error) {
 		if err := c.acct.CongestError(); err != nil {
 			return res, err
 		}
+	}
+	if tr != nil {
+		tr.ExecRecord(ExecSpan{Track: 0, Kind: ExecFinish, Start: t2, End: tr.ExecNow()})
 	}
 	return res, nil
 }

@@ -18,6 +18,7 @@ type shardCmd struct {
 	inbox     []event
 	windowEnd Time
 	budget    int
+	win       int64 // window index, for execution-trace spans only
 }
 
 // ShardedEngine partitions ONE run across cores: the conservative parallel
@@ -106,6 +107,14 @@ func (e *ShardedEngine) Run(cfg Config, alg Algorithm) (*Result, error) {
 	if cfg.Shards <= 1 {
 		return e.sequential(cfg, alg)
 	}
+	// The fallback paths below re-enter the sequential engine, which runs
+	// its own ExecBegin, so the tracer is only committed to p+1 tracks
+	// once the parallel path is certain; ExecNow is safe before ExecBegin.
+	tr := cfg.Tracer
+	var t0 int64
+	if tr != nil {
+		t0 = tr.ExecNow()
+	}
 	s, delays, wakeups, err := setupForRun(cfg, alg)
 	if err != nil {
 		return nil, err
@@ -129,6 +138,9 @@ func (e *ShardedEngine) Run(cfg Config, alg Algorithm) (*Result, error) {
 	n := g.N()
 	p := part.P
 	W := Time(w)
+	if tr != nil {
+		tr.ExecBegin(p + 1) // track 0: coordinator; tracks 1..p: shards
+	}
 
 	e.run.alg = alg
 	e.run.g = g
@@ -203,18 +215,44 @@ func (e *ShardedEngine) Run(cfg Config, alg Algorithm) (*Result, error) {
 	cmds := make([]chan shardCmd, p)
 	for i := 0; i < p; i++ {
 		cmds[i] = make(chan shardCmd, 1)
-		go func(c *engineCore, cmd chan shardCmd) {
+		// Each worker owns its shard's trace track (track = shard + 1) and
+		// tiles it exactly: barrier [previous busy end → command receipt],
+		// busy [receipt → window drained]. Tracer calls stay outside
+		// runWindow, which is //wakeup:noalloc.
+		go func(c *engineCore, cmd chan shardCmd, track int32) {
+			var prevEnd int64
+			if tr != nil {
+				prevEnd = tr.ExecNow()
+			}
 			for w := range cmd {
+				if tr == nil {
+					c.runWindow(w.inbox, w.windowEnd, w.budget)
+					wg.Done()
+					continue
+				}
+				b0 := tr.ExecNow()
+				tr.ExecRecord(ExecSpan{Track: track, Kind: ExecBarrier, Window: w.win, Start: prevEnd, End: b0})
+				ev0 := c.events
 				c.runWindow(w.inbox, w.windowEnd, w.budget)
+				b1 := tr.ExecNow()
+				tr.ExecRecord(ExecSpan{Track: track, Kind: ExecBusy, Window: w.win, Events: int64(c.events - ev0), Start: b0, End: b1})
+				prevEnd = b1
 				wg.Done()
 			}
-		}(&e.cores[i], cmds[i])
+		}(&e.cores[i], cmds[i], int32(i+1))
 	}
 	defer func() {
 		for _, cmd := range cmds {
 			close(cmd)
 		}
 	}()
+
+	var t1 int64
+	if tr != nil {
+		t1 = tr.ExecNow()
+		tr.ExecRecord(ExecSpan{Track: 0, Kind: ExecSetup, Start: t0, End: t1})
+	}
+	var winIdx int64
 
 	for {
 		globalNext := inboxMin
@@ -235,11 +273,20 @@ func (e *ShardedEngine) Run(cfg Config, alg Algorithm) (*Result, error) {
 		}
 
 		prevTotal := totalEvents
+		var c0 int64
+		if tr != nil {
+			c0 = tr.ExecNow()
+		}
 		wg.Add(p)
 		for i := 0; i < p; i++ {
-			cmds[i] <- shardCmd{inbox: e.inboxes[i], windowEnd: windowEnd, budget: maxEvents + 1}
+			cmds[i] <- shardCmd{inbox: e.inboxes[i], windowEnd: windowEnd, budget: maxEvents + 1, win: winIdx}
 		}
 		wg.Wait()
+		if tr != nil {
+			// The coordinator's barrier span: dispatching the window and
+			// waiting for the slowest shard to drain it.
+			tr.ExecRecord(ExecSpan{Track: 0, Kind: ExecBarrier, Window: winIdx, Start: c0, End: tr.ExecNow()})
+		}
 
 		totalEvents = 0
 		for i := range e.cores {
@@ -274,9 +321,32 @@ func (e *ShardedEngine) Run(cfg Config, alg Algorithm) (*Result, error) {
 		}
 
 		if obs != nil {
+			var r0 int64
+			if tr != nil {
+				r0 = tr.ExecNow()
+			}
 			e.replay(obs, infTime, math.MaxInt64)
+			if tr != nil {
+				tr.ExecRecord(ExecSpan{Track: 0, Kind: ExecReplay, Window: winIdx, Start: r0, End: tr.ExecNow()})
+			}
+		}
+		var m0 int64
+		if tr != nil {
+			m0 = tr.ExecNow()
 		}
 		inboxMin = e.mergeStaged(&globalVseq)
+		if tr != nil {
+			m1 := tr.ExecNow()
+			tr.ExecRecord(ExecSpan{Track: 0, Kind: ExecMerge, Window: winIdx, Start: m0, End: m1})
+			tr.ExecRecord(ExecSpan{Track: 0, Kind: ExecWindow, Window: winIdx, Events: int64(totalEvents - prevTotal), Start: m1, End: m1})
+		}
+		winIdx++
+	}
+
+	var t2 int64
+	if tr != nil {
+		t2 = tr.ExecNow()
+		tr.ExecRecord(ExecSpan{Track: 0, Kind: ExecRun, Events: int64(totalEvents), Start: t1, End: t2})
 	}
 
 	end := Time(0)
@@ -302,6 +372,9 @@ func (e *ShardedEngine) Run(cfg Config, alg Algorithm) (*Result, error) {
 		if err := master.CongestError(); err != nil {
 			return res, err
 		}
+	}
+	if tr != nil {
+		tr.ExecRecord(ExecSpan{Track: 0, Kind: ExecFinish, Start: t2, End: tr.ExecNow()})
 	}
 	return res, nil
 }

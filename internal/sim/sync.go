@@ -35,6 +35,9 @@ type SyncConfig struct {
 	// Observer, when non-nil, receives the engine's event stream with
 	// round numbers as times; stack several with StackObservers.
 	Observer Observer
+	// Tracer, when non-nil, receives setup/run/finish execution spans on
+	// track 0 (same contract as Config.Tracer on the asynchronous engine).
+	Tracer ExecTracer
 }
 
 type pendingMsg struct {
@@ -91,6 +94,12 @@ func (c syncCtx) Broadcast(m Message) {
 // machine reporting quiescence (machines that do not implement Quiescer
 // are treated as quiescent).
 func RunSync(cfg SyncConfig, alg SyncAlgorithm) (*Result, error) {
+	tr := cfg.Tracer
+	var t0 int64
+	if tr != nil {
+		tr.ExecBegin(1)
+		t0 = tr.ExecNow()
+	}
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("sim: SyncConfig.Graph is required")
 	}
@@ -162,6 +171,12 @@ func RunSync(cfg SyncConfig, alg SyncAlgorithm) (*Result, error) {
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds
+	}
+
+	var t1 int64
+	if tr != nil {
+		t1 = tr.ExecNow()
+		tr.ExecRecord(ExecSpan{Track: 0, Kind: ExecSetup, Start: t0, End: t1})
 	}
 
 	lastActive := firstWakeRound
@@ -236,6 +251,12 @@ func RunSync(cfg SyncConfig, alg SyncAlgorithm) (*Result, error) {
 		}
 	}
 
+	var t2 int64
+	if tr != nil {
+		t2 = tr.ExecNow()
+		tr.ExecRecord(ExecSpan{Track: 0, Kind: ExecRun, Events: int64(res.Events), Start: t1, End: t2})
+	}
+
 	res.Rounds = lastActive - firstWakeRound
 	e.acct.Finish(Time(lastActive))
 	if e.obs != nil {
@@ -247,6 +268,9 @@ func RunSync(cfg SyncConfig, alg SyncAlgorithm) (*Result, error) {
 		if err := e.acct.CongestError(); err != nil {
 			return res, err
 		}
+	}
+	if tr != nil {
+		tr.ExecRecord(ExecSpan{Track: 0, Kind: ExecFinish, Start: t2, End: tr.ExecNow()})
 	}
 	return res, nil
 }

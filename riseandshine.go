@@ -34,7 +34,9 @@ package riseandshine
 import (
 	"io"
 	"math/rand"
+	"time"
 
+	"riseandshine/internal/exectrace"
 	"riseandshine/internal/graph"
 	"riseandshine/internal/metrics"
 	"riseandshine/internal/sim"
@@ -109,6 +111,18 @@ type (
 	// MemReport is the per-subsystem scratch footprint of one asynchronous
 	// run (see RunConfig.MemReport).
 	MemReport = sim.MemReport
+	// ExecRecorder is the engine flight recorder: bounded per-track span
+	// rings around an injected monotonic clock, with a Chrome trace-event
+	// export (WriteChromeTrace, Perfetto-loadable) and an aggregate stall
+	// report (Stall). Install via RunConfig.ExecTrace.
+	ExecRecorder = exectrace.Recorder
+	// ExecStallReport aggregates one traced run: per-track
+	// busy/barrier/merge totals, window count, imbalance ratio, and the
+	// events-per-window histogram.
+	ExecStallReport = exectrace.StallReport
+	// ExecClock is the nanosecond monotonic clock an ExecRecorder reads;
+	// see ExecTimeClock and ExecCounterClock.
+	ExecClock = exectrace.Clock
 )
 
 // AsyncRound is the sentinel Context.Round returns in the asynchronous
@@ -145,6 +159,23 @@ var (
 	// returns an observer for one run.
 	NewMetricsObserver = metrics.NewObserver
 )
+
+// NewExecRecorder returns a flight recorder around the injected clock
+// (nil selects the deterministic ExecCounterClock).
+var NewExecRecorder = exectrace.New
+
+// ExecCounterClock returns a deterministic ExecClock — each reading is
+// the next integer — for reproducible traces in tests.
+var ExecCounterClock = exectrace.CounterClock
+
+// ExecTimeClock returns a monotonic wall clock started now, for real
+// profiling. The wall-time read lives here in the façade, outside the
+// deterministic packages, on purpose: exectrace itself never touches the
+// clock — it only reads whatever Clock was injected.
+func ExecTimeClock() ExecClock {
+	start := time.Now()
+	return func() int64 { return int64(time.Since(start)) }
+}
 
 // NewGraphBuilder returns a builder for a custom graph on n nodes.
 func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }

@@ -78,6 +78,15 @@ type RunConfig struct {
 	// footprint (asynchronous engine only). Diagnostic: leave off when
 	// comparing Results byte-for-byte across queue kinds or engine reuse.
 	MemReport bool
+	// ExecTrace, when non-nil, records the run's execution timeline into
+	// the flight recorder: setup/run/finish phases on every engine, plus
+	// per-window busy/barrier/merge/replay spans per shard on sharded
+	// runs. Read it back with ExecRecorder.Stall (aggregate stall report)
+	// or ExecRecorder.WriteChromeTrace (Perfetto-loadable JSON) after Run
+	// returns. The recorder's timestamps come from its injected clock and
+	// never enter the Result, so traced runs stay byte-identical to
+	// untraced ones.
+	ExecTrace *ExecRecorder
 }
 
 // Prepared caches the seed-independent work of one configuration — the
@@ -185,6 +194,13 @@ func (p *Prepared) Run(cfg RunConfig) (*Result, error) {
 		observer = sim.StackObservers(metrics.NewObserver(cfg.Metrics, p.graph.N()), observer)
 	}
 
+	// The explicit nil check keeps a nil *ExecRecorder from becoming a
+	// non-nil ExecTracer interface value in the engine configs.
+	var tracer sim.ExecTracer
+	if cfg.ExecTrace != nil {
+		tracer = cfg.ExecTrace
+	}
+
 	if p.info.Synchronous {
 		// The synchronous engine takes only the explicit observer slot, so
 		// the façade desugars Trace/RecordDigests into the stack here.
@@ -206,6 +222,7 @@ func (p *Prepared) Run(cfg RunConfig) (*Result, error) {
 			Setup:         p.setup,
 			StrictCongest: cfg.StrictCongest,
 			Observer:      sim.StackObservers(trace, digests, observer),
+			Tracer:        tracer,
 		}, p.info.newSync(cfg.Options))
 	}
 	simCfg := sim.Config{
@@ -227,6 +244,7 @@ func (p *Prepared) Run(cfg RunConfig) (*Result, error) {
 		Queue:         cfg.Queue,
 		MemReport:     cfg.MemReport,
 		Shards:        cfg.Shards,
+		Tracer:        tracer,
 	}
 	alg := p.info.newAsync(cfg.Options)
 	if cfg.Shards > 1 {

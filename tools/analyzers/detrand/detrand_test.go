@@ -11,6 +11,14 @@ func TestDetrand(t *testing.T) {
 	analysistest.Run(t, ".", detrand.Analyzer, "a")
 }
 
+// TestDetrandFlight pins the flight-recorder clock discipline from
+// internal/exectrace: holding and reading an injected clock func value is
+// clean, while constructing the clock from time.Now inside the
+// deterministic package is flagged at the read site.
+func TestDetrandFlight(t *testing.T) {
+	analysistest.Run(t, ".", detrand.Analyzer, "flight")
+}
+
 // TestDetrandCrossPackage exercises the fact layer end to end: the wrapper
 // package exports Tainted facts, and every diagnostic in the caller package
 // exists only because those facts survived the serialize/decode roundtrip.

@@ -1,0 +1,58 @@
+// Package flight pins the flight-recorder clock discipline from
+// internal/exectrace: a deterministic package may hold and read an
+// *injected* clock (a func value handed in by a driver outside the
+// deterministic boundary) but may never construct one from the wall
+// clock itself. The injected-clock reads verify with no diagnostics;
+// building the clock locally from time.Now is flagged at the read site.
+package flight
+
+import "time"
+
+// Clock is the injected monotonic clock. Only the driver that
+// constructs a Recorder decides what it reads; this package treats the
+// values as opaque monotone instants.
+type Clock func() int64
+
+// Recorder mirrors the flight recorder: injected clock, span storage.
+type Recorder struct {
+	clock Clock
+	spans []int64
+}
+
+// New accepts whatever clock the driver injects. Nothing here observes
+// wall time, so nothing is flagged.
+func New(c Clock) *Recorder {
+	if c == nil {
+		c = CounterClock()
+	}
+	return &Recorder{clock: c}
+}
+
+// Now reads the injected clock — a call through a func value whose
+// entropy, if any, was the *driver's* decision. Clean.
+func (r *Recorder) Now() int64 { return r.clock() }
+
+// Record stores one span duration measured on the injected clock.
+func (r *Recorder) Record(start, end int64) {
+	r.spans = append(r.spans, end-start)
+}
+
+// CounterClock is the deterministic clock: pure arithmetic, each reading
+// the next integer. The approved default for tests.
+func CounterClock() Clock {
+	var n int64
+	return func() int64 { n++; return n }
+}
+
+// wallClock is the broken variant: constructing the clock *inside* the
+// deterministic package anchors it to the wall clock. The read is
+// flagged where it happens; the closure wrapping changes nothing.
+func wallClock() Clock {
+	start := time.Now() // want `reads the wall clock`
+	return func() int64 { return int64(time.Since(start)) }
+}
+
+// stamped is the other broken variant: timestamping spans directly.
+func stamped(r *Recorder) {
+	r.Record(0, time.Now().UnixNano()) // want `reads the wall clock`
+}

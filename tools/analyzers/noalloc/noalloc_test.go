@@ -19,6 +19,15 @@ func TestNoallocStagedOutbox(t *testing.T) {
 	analysistest.Run(t, ".", noalloc.Analyzer, "outbox")
 }
 
+// TestNoallocRing pins the flight-recorder ring idiom from
+// internal/exectrace: the modulo ring write verifies with no suppression,
+// the injected-clock read requires (and carries) a justified one, and
+// both broken variants — an unjustified func-value call and an
+// append-based ring — are diagnosed.
+func TestNoallocRing(t *testing.T) {
+	analysistest.Run(t, ".", noalloc.Analyzer, "ring")
+}
+
 // TestNoallocCrossPackage proves the fact layer does the work: dep's
 // AllocFree and NoAllocContract facts are serialized, decoded into use's
 // pass, and drive both the accepted dep.Fast call and the required

@@ -1,0 +1,58 @@
+// Package ring pins the flight-recorder span-ring idiom from
+// internal/exectrace: recording into fixed-capacity ring storage through
+// a modulo write index is a plain indexed store and verifies with no
+// suppression at all, while the one unprovable site — reading the clock
+// injected as a func value — carries a justified suppression. Both
+// broken variants (the same clock read with no justification, and an
+// append-based "ring" that can grow) are diagnosed.
+package ring
+
+// span is one recorded interval.
+type span struct {
+	track      int32
+	start, end int64
+}
+
+// recorder is the ring state: storage sized once at construction, a
+// monotone write count, and the injected clock.
+type recorder struct {
+	clock func() int64
+	spans []span // ring storage; always len == cap
+	n     int64
+}
+
+// record stores one span at n mod len — the bounded-ring write. No
+// allocation site anywhere: the point of the ring is that steady-state
+// recording verifies without any suppression.
+//
+//wakeup:noalloc
+func (r *recorder) record(s span) {
+	r.spans[r.n%int64(len(r.spans))] = s
+	r.n++
+}
+
+// now reads the injected clock. A call through a func value cannot be
+// proven allocation-free statically, so the pattern requires a justified
+// suppression stating the contract the injected clocks uphold.
+//
+//wakeup:noalloc
+func (r *recorder) now() int64 {
+	//lint:noalloc-ok clock is injected at construction; the provided clocks (atomic counter, monotonic wall read) are allocation-free
+	return r.clock()
+}
+
+// bareNow is the broken variant: the same read with no justification
+// must be diagnosed, not absorbed by the pattern.
+//
+//wakeup:noalloc
+func (r *recorder) bareNow() int64 {
+	return r.clock() // want `noalloc: call through a function value cannot be proven allocation-free`
+}
+
+// growingRecord is the other broken variant: an append-based "ring"
+// defeats the bound the ring exists to provide.
+//
+//wakeup:noalloc
+func (r *recorder) growingRecord(s span) {
+	r.spans = append(r.spans, s) // want `noalloc: append may grow its backing array`
+}
