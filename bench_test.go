@@ -18,6 +18,7 @@ package riseandshine_test
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"runtime"
 	"testing"
 
@@ -723,6 +724,56 @@ func BenchmarkRunner(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSetup measures per-topology Setup construction — port maps,
+// CSR edge metadata, NodeInfo — including the million-node sparse case
+// the compact node RNG makes routine (PR-10): setup work is O(n + m)
+// with no per-node generator cost, since node randomness is seeded
+// lazily in O(1) at wake time (BenchmarkReseedNode pins that half).
+func BenchmarkSetup(b *testing.B) {
+	for _, spec := range []string{"binary:16383", "gnp:5000:0.01", "binary:1000000"} {
+		g, err := experiment.ParseGraph(spec, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		model := sim.Model{Knowledge: sim.KT0, Bandwidth: sim.Congest}
+		b.Run(spec, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.NewSetup(g, nil, model, int64(i), nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(g.N())/(b.Elapsed().Seconds()/float64(b.N)), "nodes/s")
+		})
+	}
+}
+
+// BenchmarkReseedNode measures the per-wake RNG cost the engine pays for
+// every node: reseeding a recycled generator in place. With the compact
+// PCG source this is O(1) — two splitmix64 evaluations — and
+// allocation-free (the stdlib lagged-Fibonacci source it replaced ran a
+// 607-word table fill here). BenchmarkNodeRand is the cold-start
+// comparison: constructing the generator from scratch.
+func BenchmarkReseedNode(b *testing.B) {
+	r := sim.NodeRand(1, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.ReseedNode(r, 1, i)
+	}
+}
+
+// BenchmarkNodeRand measures fresh per-node generator construction — the
+// price of the first wake (subsequent wakes pay only BenchmarkReseedNode).
+func BenchmarkNodeRand(b *testing.B) {
+	b.ReportAllocs()
+	var r *rand.Rand
+	for i := 0; i < b.N; i++ {
+		r = sim.NodeRand(1, i)
+	}
+	_ = r
 }
 
 // BenchmarkEngine measures raw simulator throughput (events per second)

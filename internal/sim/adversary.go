@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"riseandshine/internal/graph"
 )
@@ -98,7 +97,11 @@ type RandomWake struct {
 	Seed   int64
 }
 
-// Wakeups implements WakeScheduler.
+// Wakeups implements WakeScheduler. Randomness comes from a value-typed
+// scratch PCG on the stack — no generator allocation per run (the old
+// rand.New(rand.NewSource(...)) built a ~5 KiB source per call); the only
+// allocations left are the permutation and the schedule itself, pinned by
+// TestWakeSchedulerAllocs.
 func (w RandomWake) Wakeups(g *graph.Graph) []Wakeup {
 	n := g.N()
 	count := w.Count
@@ -108,8 +111,9 @@ func (w RandomWake) Wakeups(g *graph.Graph) []Wakeup {
 	if count > n {
 		count = n
 	}
-	rng := rand.New(rand.NewSource(deriveSeed(w.Seed, streamWake, uint64(n))))
-	perm := rng.Perm(n)
+	var rng PCG
+	rng.Seed(deriveSeed(w.Seed, streamWake, uint64(n)))
+	perm := pcgPerm(&rng, n)
 	out := make([]Wakeup, count)
 	for i := 0; i < count; i++ {
 		at := Time(0)
@@ -131,12 +135,25 @@ type StaggeredWake struct {
 	Seed  int64
 }
 
-// Wakeups implements WakeScheduler.
+// Wakeups implements WakeScheduler. Like RandomWake it draws from a
+// stack-scratch PCG and pre-sizes the schedule, so the per-run allocation
+// count is a pinned constant (TestWakeSchedulerAllocs).
 func (w StaggeredWake) Wakeups(g *graph.Graph) []Wakeup {
 	n := g.N()
-	rng := rand.New(rand.NewSource(deriveSeed(w.Seed, streamWake, uint64(n)+1)))
-	perm := rng.Perm(n)
-	var out []Wakeup
+	var rng PCG
+	rng.Seed(deriveSeed(w.Seed, streamWake, uint64(n)+1))
+	perm := pcgPerm(&rng, n)
+	total := 0
+	for _, size := range w.Sizes {
+		total += size
+	}
+	if total > n {
+		total = n
+	}
+	if total < 1 {
+		total = 1
+	}
+	out := make([]Wakeup, 0, total)
 	next := 0
 	for i, size := range w.Sizes {
 		for j := 0; j < size && next < n; j++ {

@@ -88,6 +88,27 @@ func TestDominatingWakeIsDominating(t *testing.T) {
 	}
 }
 
+// TestWakeSchedulerAllocs pins the scratch-RNG rewrite of the randomized
+// wake schedulers: drawing from a value-typed PCG on the stack leaves
+// exactly two allocations per Wakeups call — the permutation and the
+// schedule slice — where the old implementation also built a ~5 KiB
+// rand.NewSource table (plus its rand.Rand wrapper) per run.
+func TestWakeSchedulerAllocs(t *testing.T) {
+	g := graph.Complete(64)
+	var out []Wakeup
+	if allocs := testing.AllocsPerRun(50, func() {
+		out = RandomWake{Count: 8, Window: 3, Seed: 1}.Wakeups(g)
+	}); allocs > 2 {
+		t.Errorf("RandomWake.Wakeups allocates %.0f times per call, want ≤ 2", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		out = StaggeredWake{Sizes: []int{4, 4, 4}, Gap: 2, Seed: 1}.Wakeups(g)
+	}); allocs > 2 {
+		t.Errorf("StaggeredWake.Wakeups allocates %.0f times per call, want ≤ 2", allocs)
+	}
+	_ = out
+}
+
 func TestUnitDelay(t *testing.T) {
 	if d := (UnitDelay{}).Delay(0, 1, 0, 0); d != 1 {
 		t.Errorf("unit delay = %v", d)

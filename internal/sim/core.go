@@ -37,10 +37,21 @@ type runShared struct {
 	// own node range.
 	awake    []bool
 	machines []Program
-	rands    []*rand.Rand
 	ctxs     []coreCtx
 	fifoLast []Time  // last scheduled delivery time (zero value never clamps: delivery times are > 0)
 	edgeSeq  []int32 // messages sent so far on the edge
+
+	// Per-node randomness as flat SoA state: rngs[v] is node v's 16-byte
+	// PCG generator and rands[v] the *rand.Rand wrapper bound to &rngs[v].
+	// Both arrays are pointer-free into the heap graph (the wrapper's
+	// source interface points back into rngs, which the two-slices-grow-
+	// together invariant keeps stable), so a million-node table is 64 B per
+	// node of cache-local state instead of 10⁶ separately boxed ~5 KiB
+	// lagged-Fibonacci tables. State is seeded lazily: a node's generator
+	// holds garbage until its first wake of the run reseeds it (ReseedNode,
+	// O(1)), so per-run RNG cost is proportional to woken nodes only.
+	rngs  []PCG
+	rands []rand.Rand
 
 	// part is the node partition in sharded runs; nil in the sequential
 	// engine, whose send path then pushes straight into the core's queue.
@@ -48,19 +59,25 @@ type runShared struct {
 }
 
 // reset sizes and clears the shared scratch for n nodes and dir directed
-// edges, reusing backing arrays whenever they are large enough. RNG
-// instances are deliberately kept across runs: wake reseeds a node's
+// edges, reusing backing arrays whenever they are large enough. The RNG
+// tables are deliberately kept across runs: wake reseeds a node's
 // generator to the run's stream, which produces exactly the bits a fresh
-// NodeRand would (see ReseedNode), without the ~5 KiB source allocation.
+// NodeRand would (see ReseedNode), so only growth ever reallocates them.
+// On growth the wrapper table is rebound element by element — rands[v]
+// must wrap &rngs[v] of the *new* backing array — which is the one O(n)
+// RNG cost left anywhere (64 B of writes per node; the old per-node
+// lagged-Fibonacci sources cost ~5 KiB and O(607) seeding work each).
 func (r *runShared) reset(n, dir int) {
 	r.awake = growClear(r.awake, n)
 	r.machines = growClear(r.machines, n)
 	r.fifoLast = growClear(r.fifoLast, dir)
 	r.edgeSeq = growClear(r.edgeSeq, dir)
-	if len(r.rands) < n {
-		rr := make([]*rand.Rand, n)
-		copy(rr, r.rands)
-		r.rands = rr
+	if len(r.rngs) < n {
+		r.rngs = make([]PCG, n)
+		r.rands = make([]rand.Rand, n)
+		for v := range r.rands {
+			r.rands[v] = *rand.New(&r.rngs[v])
+		}
 	}
 }
 
@@ -156,7 +173,7 @@ func (c *coreCtx) Now() Time { return c.c.now }
 func (c *coreCtx) Round() int { return AsyncRound }
 
 //wakeup:noalloc
-func (c *coreCtx) Rand() *rand.Rand { return c.c.run.rands[c.node] }
+func (c *coreCtx) Rand() *rand.Rand { return &c.c.run.rands[c.node] }
 
 //wakeup:noalloc
 func (c *coreCtx) AdversarialWake() bool { return c.c.acct.AdversaryWoken(c.node) }
@@ -217,12 +234,9 @@ func (c *engineCore) wake(v int, adversarial bool) {
 	}
 	r.awake[v] = true
 	c.acct.Wake(v, c.now, adversarial)
-	if rng := r.rands[v]; rng == nil {
-		//lint:noalloc-ok one generator per node, built on its first wake ever and reseeded in place across runs
-		r.rands[v] = NodeRand(r.seed, v)
-	} else {
-		ReseedNode(rng, r.seed, v)
-	}
+	// First use of node v's generator this run: O(1) reseed of the flat
+	// PCG state to exactly the stream a fresh NodeRand(seed, v) yields.
+	ReseedNode(&r.rands[v], r.seed, v)
 	if c.obs != nil {
 		//lint:noalloc-ok observers are opt-in diagnostics on their own allocation budget; the nil guard keeps the default path clean
 		c.obs.OnWake(c.now, v, adversarial)

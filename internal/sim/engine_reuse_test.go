@@ -134,6 +134,45 @@ func TestSetupReuseByteIdentical(t *testing.T) {
 	}
 }
 
+// TestEngineRNGWrappersAliasState pins the SoA wiring behind the compact
+// node RNG: every rands[v] wrapper must draw from rngs[v] of the *current*
+// backing array, including after reset() grows both slices and rebinds the
+// wrappers. A stale wrapper pointing into a discarded rngs array would
+// still produce plausible random numbers — runs would silently stop
+// depending on (seed, v) — so this checks aliasing directly: seeding
+// rngs[v] by hand must make rands[v] reproduce the NodeRand reference
+// stream exactly.
+func TestEngineRNGWrappersAliasState(t *testing.T) {
+	eng := &AsyncEngine{}
+	run := func(n int) {
+		cfg := Config{
+			Graph:     graph.Complete(n),
+			Model:     Model{Knowledge: KT0, Bandwidth: Local},
+			Adversary: Adversary{Schedule: WakeSet{Nodes: []int{0}}},
+			Seed:      1,
+		}
+		if _, err := eng.Run(cfg, floodAlg{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(8)
+	run(32) // forces the RNG SoA arrays to grow and the wrappers to rebind
+	r := &eng.run
+	if len(r.rngs) < 32 || len(r.rands) < 32 {
+		t.Fatalf("SoA arrays did not grow: %d generators, %d wrappers", len(r.rngs), len(r.rands))
+	}
+	for _, v := range []int{0, 7, 8, 31} {
+		r.rngs[v].Seed(deriveSeed(123, streamNodeRand, uint64(v)))
+		want := NodeRand(123, v)
+		for i := 0; i < 16; i++ {
+			if got, w := r.rands[v].Uint64(), want.Uint64(); got != w {
+				t.Fatalf("node %d draw %d: wrapper yields %016x, NodeRand reference %016x — rands[%d] does not alias rngs[%d]",
+					v, i, got, w, v, v)
+			}
+		}
+	}
+}
+
 // floodAlg broadcasts once on wake and stays silent on messages; machines
 // and messages are zero-size values, so the algorithm itself contributes no
 // allocations — it isolates the engine's per-message cost for the

@@ -15,12 +15,13 @@ var (
 	sliceHeaderBytes = int64(unsafe.Sizeof([]event(nil)))
 	ctxBytes         = int64(unsafe.Sizeof(coreCtx{}))
 	programBytes     = int64(unsafe.Sizeof(Program(nil)))
-	// rngStateBytes approximates one node generator: the rand.Rand wrapper
-	// plus the 607-word additive-lagged-Fibonacci source it owns.
-	rngStateBytes = func() int64 {
-		var r rand.Rand
-		return int64(unsafe.Sizeof(r)) + 607*8 + 16
-	}()
+	// pcgBytes and randWrapBytes are the two RNG SoA element sizes: node
+	// v's generator is rngs[v] (16 bytes of PCG state) plus rands[v] (the
+	// rand.Rand wrapper binding the stdlib API to it). Both are flat
+	// arrays, so — unlike the old per-node lagged-Fibonacci estimate this
+	// replaced — the report measures the real backing storage exactly.
+	pcgBytes      = int64(unsafe.Sizeof(PCG{}))
+	randWrapBytes = int64(unsafe.Sizeof(rand.Rand{}))
 )
 
 // MemReport is the peak scratch footprint of one asynchronous run, by
@@ -32,9 +33,10 @@ var (
 //
 // The report answers the practical 10⁶-node question — "what does one more
 // node or edge cost?": Queue and Nodes scale with n (and the in-flight
-// event population), FIFO and CSR with the directed edge count 2m, RNG with
-// the number of nodes that ever woke (~5 KiB each — by far the largest
-// per-node term, see DESIGN.md).
+// event population), FIFO and CSR with the directed edge count 2m, RNG
+// with n at a flat 64 bytes per node (16 bytes of PCG state plus the
+// rand.Rand wrapper — see DESIGN.md "Node randomness"; before the compact
+// source this was ~4.8 KiB per woken node and 96 % of a million-node run).
 type MemReport struct {
 	// Queue names the event-queue implementation ("heap" or "calendar").
 	Queue string
@@ -44,14 +46,15 @@ type MemReport struct {
 	// FIFOBytes covers the per-directed-edge FIFO clamp and message
 	// sequence arrays.
 	FIFOBytes int64
-	// RNGBytes covers the per-node random generators (allocated lazily on
-	// first wake, retained across runs of a reused engine).
+	// RNGBytes covers the per-node random generators: the flat PCG state
+	// array plus the rand.Rand wrapper array (grown to the engine's
+	// high-water node count, retained across runs of a reused engine).
 	RNGBytes int64
 	// CSRBytes covers the Setup's edge metadata: EdgeStart, EdgeTo,
 	// RevPort, and SenderIDs.
 	CSRBytes int64
 	// NodeBytes covers the remaining per-node tables: awake flags, machine
-	// slots, context table, and RNG pointers.
+	// slots, and the context table.
 	NodeBytes int64
 	// Shards is the number of partitions the run executed on; 0 or 1 means
 	// the sequential engine (or the sharded engine's sequential fallback),
@@ -96,22 +99,16 @@ func FormatBytes(b int64) string {
 // run state; queueBytes is the (possibly per-shard summed) event-queue
 // figure supplied by the owning engine.
 func (r *runShared) memReport(kind QueueKind, queueBytes int64) *MemReport {
-	rngs := 0
-	for _, rng := range r.rands {
-		if rng != nil {
-			rngs++
-		}
-	}
 	s := r.s
 	m := &MemReport{
 		Queue:      kind.String(),
 		QueueBytes: queueBytes,
 		FIFOBytes:  int64(cap(r.fifoLast))*8 + int64(cap(r.edgeSeq))*4,
-		RNGBytes:   int64(rngs) * rngStateBytes,
+		RNGBytes:   int64(cap(r.rngs))*pcgBytes + int64(cap(r.rands))*randWrapBytes,
 		CSRBytes: int64(len(s.EdgeStart))*4 + int64(len(s.EdgeTo))*4 +
 			int64(len(s.RevPort))*4 + int64(len(s.SenderIDs))*8,
 		NodeBytes: int64(cap(r.awake)) + int64(cap(r.machines))*programBytes +
-			int64(cap(r.ctxs))*ctxBytes + int64(cap(r.rands))*8,
+			int64(cap(r.ctxs))*ctxBytes,
 	}
 	m.TotalBytes = m.QueueBytes + m.FIFOBytes + m.RNGBytes + m.CSRBytes + m.NodeBytes
 	return m

@@ -189,7 +189,10 @@ type Context interface {
 	// and sharded engines return the identical value, so algorithms
 	// branching on it behave the same under either.
 	Round() int
-	// Rand returns the node's private source of randomness.
+	// Rand returns the node's private source of randomness: the
+	// deterministic per-node stream NodeRand(seed, v), backed by the
+	// compact PCG source (see DESIGN.md "Node randomness") and identical
+	// under every engine.
 	Rand() *rand.Rand
 	// AdversarialWake reports whether this node was woken directly by the
 	// adversary (true) or by receiving a message (false). Several

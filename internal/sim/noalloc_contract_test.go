@@ -28,6 +28,11 @@ var allocCoverage = map[string]string{
 	"Accounting.Send":           "TestAccountingSteadyStateZeroAllocs",
 	"Accounting.Deliver":        "TestAccountingSteadyStateZeroAllocs",
 	"Accounting.AdversaryWoken": "TestAccountingSteadyStateZeroAllocs",
+	"PCG.Seed":                  "TestPCGZeroAllocs",
+	"PCG.Uint64":                "TestPCGZeroAllocs",
+	"PCG.Int63":                 "TestPCGZeroAllocs",
+	"PCG.Float64":               "TestPCGZeroAllocs",
+	"PCG.Intn":                  "TestPCGZeroAllocs",
 }
 
 // TestNoallocContractsHaveRuntimeCoverage scans the package source for

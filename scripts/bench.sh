@@ -22,8 +22,10 @@ case "$mode" in
   quick)
     # BenchmarkRunAsync also matches the Calendar/Reuse/Metrics variants by
     # prefix; BenchmarkRunSharded adds the parallel-engine speedup curve;
-    # the graph package contributes the build + BFS-scratch benchmarks.
-    pattern='BenchmarkRunAsync|BenchmarkRunSharded|BenchmarkEngine|BenchmarkDiameter|BenchmarkBuild'
+    # BenchmarkSetup/BenchmarkReseedNode/BenchmarkNodeRand pin the O(1)
+    # compact-RNG setup path (incl. the 10^6-node construction case); the
+    # graph package contributes the build + BFS-scratch benchmarks.
+    pattern='BenchmarkRunAsync|BenchmarkRunSharded|BenchmarkEngine|BenchmarkDiameter|BenchmarkBuild|BenchmarkSetup|BenchmarkReseedNode|BenchmarkNodeRand'
     packages='. ./internal/graph'
     benchtime='1x'
     count=1

@@ -28,6 +28,15 @@ func TestNoallocRing(t *testing.T) {
 	analysistest.Run(t, ".", noalloc.Analyzer, "ring")
 }
 
+// TestNoallocPCGSource pins the compact counter-based generator idiom
+// from internal/sim's node RNG: the value-typed Source64's hot methods
+// (in-place seed expansion, math/bits LCG step) verify with no suppression
+// at all, while both broken variants — a fresh generator object per reseed
+// and a per-draw scratch table — are diagnosed.
+func TestNoallocPCGSource(t *testing.T) {
+	analysistest.Run(t, ".", noalloc.Analyzer, "pcgsrc")
+}
+
 // TestNoallocCrossPackage proves the fact layer does the work: dep's
 // AllocFree and NoAllocContract facts are serialized, decoded into use's
 // pass, and drive both the accepted dep.Fast call and the required
